@@ -1,0 +1,27 @@
+"""Helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import run_experiment
+from repro.analysis.experiments.base import ExperimentResult
+
+
+def run_and_report(benchmark, experiment_id: str, *args, **kwargs) -> ExperimentResult:
+    """Benchmark one experiment run, assert its checks, print its report.
+
+    ``rounds=1`` because an experiment is a batch analysis job, not a
+    microbenchmark — we want its wall-clock cost and its output, not a
+    timing distribution.
+    """
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id, *args),
+        kwargs=kwargs,
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.format_report())
+    assert result.all_checks_passed, result.format_report()
+    return result

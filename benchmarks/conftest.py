@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures: one medium simulation for the whole session.
+
+Every per-figure benchmark times the *analysis* (the part a production
+pipeline re-runs daily); the underlying trace is simulated once and shared.
+Ablation benches simulate their own small configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import common
+
+
+@pytest.fixture(scope="session")
+def medium_result():
+    return common.standard_result("medium")
+
+
+@pytest.fixture(scope="session")
+def medium_dataset(medium_result):
+    return common.filtered_dataset("medium")

@@ -1,0 +1,31 @@
+"""Ablation: ABR families, and outlier screening (§4.3's recommendation).
+
+Rate-based ABR chases throughput (highest bitrate, most rebuffering risk);
+buffer-based is conservative (lowest bitrate, fewest stalls); hybrid sits
+between.  Screening download-stack outliers out of the throughput estimate
+must not hurt bitrate materially (it only removes impossible samples).
+"""
+
+from ablation_util import qoe_tuple, run_config
+
+
+def run_comparison():
+    rows = {}
+    for abr in ("rate", "buffer", "hybrid"):
+        rows[abr] = qoe_tuple(run_config(abr_name=abr))
+    rows["rate+screen"] = qoe_tuple(
+        run_config(abr_name="rate", abr_screen_outliers=True)
+    )
+    return rows
+
+
+def test_bench_ablation_abr(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print()
+    print("abr | median bitrate kbps | rebuffer fraction | median startup ms")
+    for abr, (bitrate, rebuffer, startup) in rows.items():
+        print(f"  {abr:<12} | {bitrate:8.0f} | {rebuffer:.4f} | {startup:8.0f}")
+    assert rows["rate"][0] > rows["buffer"][0]  # rate ABR reaches higher quality
+    assert rows["buffer"][1] <= rows["rate"][1] + 0.01  # ... buffer ABR stalls least
+    assert rows["buffer"][0] <= rows["hybrid"][0] <= rows["rate"][0]
+    assert rows["rate+screen"][0] >= 0.7 * rows["rate"][0]

@@ -1,0 +1,39 @@
+"""Ablation: playback buffer depth vs rebuffering.
+
+§4.2-2 take-away: for clients on fluctuation-prone paths the player can
+"increase the buffer size to deal with fluctuations".  Sweeping the target
+buffer shows the stall/memory trade-off: deeper buffers absorb longer
+throughput collapses.
+"""
+
+import numpy as np
+
+from ablation_util import run_config
+
+
+def rebuffer_metrics(result):
+    sessions = result.dataset.sessions()
+    return (
+        float(np.mean([s.rebuffer_rate > 0 for s in sessions])),
+        float(np.mean([s.total_rebuffer_ms for s in sessions])),
+    )
+
+
+def run_sweep():
+    metrics = {}
+    for buffer_s in (6.0, 12.0, 18.0, 30.0):
+        result = run_config(max_buffer_ms=buffer_s * 1000.0)
+        metrics[buffer_s] = rebuffer_metrics(result)
+    return metrics
+
+
+def test_bench_ablation_buffer_depth(benchmark):
+    metrics = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print("target buffer (s) | sessions rebuffering | mean stall ms")
+    for buffer_s, (fraction, stall_ms) in metrics.items():
+        print(f"  {buffer_s:6.0f} | {fraction:.4f} | {stall_ms:8.1f}")
+    shallowest = metrics[6.0]
+    deepest = metrics[30.0]
+    assert deepest[0] <= shallowest[0]
+    assert deepest[1] <= shallowest[1]

@@ -1,0 +1,29 @@
+"""Ablation: client→server mapping strategy.
+
+§4.1-3 take-away: cache-focused routing causes the load-performance
+paradox; "distributing only the top 10% of popular videos across servers
+can balance the load".  Expected: cache-focused minimizes misses but
+concentrates load; popularity partitioning trades some cache efficiency
+for balance; random mapping is worst on misses.
+"""
+
+from ablation_util import miss_ratio, run_config, server_load_imbalance
+
+
+def run_comparison():
+    rows = {}
+    for strategy in ("cache-focused", "popularity-partitioned", "random"):
+        result = run_config(mapping_strategy=strategy)
+        rows[strategy] = (miss_ratio(result), server_load_imbalance(result))
+    return rows
+
+
+def test_bench_ablation_mapping(benchmark):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print()
+    print("strategy | miss ratio | load imbalance (CV)")
+    for strategy, (miss, imbalance) in rows.items():
+        print(f"  {strategy:<22} | {miss:.4f} | {imbalance:.3f}")
+    assert rows["cache-focused"][0] < rows["random"][0]
+    assert rows["popularity-partitioned"][1] < rows["cache-focused"][1]
+    assert rows["popularity-partitioned"][0] < rows["random"][0]

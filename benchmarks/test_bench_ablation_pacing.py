@@ -1,0 +1,26 @@
+"""Ablation: server-side pacing vs slow-start burst loss.
+
+§4.2-3 take-away: "Due to the bursty nature of packet losses in TCP slow
+start caused by the exponential growth, the first chunk has the highest
+per-chunk retransmission rate.  We suggest server-side pacing solutions
+[Trickle] to work around this issue."
+"""
+
+from ablation_util import first_chunk_retx_pct, run_config
+
+
+def run_comparison():
+    return {
+        "standard": first_chunk_retx_pct(run_config()),
+        "paced": first_chunk_retx_pct(run_config(tcp_paced=True)),
+    }
+
+
+def test_bench_ablation_pacing(benchmark):
+    rates = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print()
+    print(
+        f"first-chunk retx: standard {rates['standard']:.2f}% "
+        f"vs paced {rates['paced']:.2f}%"
+    )
+    assert rates["paced"] < rates["standard"]

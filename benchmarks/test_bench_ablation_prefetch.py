@@ -1,0 +1,36 @@
+"""Ablation: chunk pre-fetching after a session's first cache miss.
+
+§4.1-2 take-away: "the persistence of cache misses could be addressed by
+pre-fetching the subsequent chunks of a video session after the first
+miss" — plus caching the first chunks of all videos to cut startup misses.
+"""
+
+from ablation_util import later_chunk_miss_ratio, run_config
+
+
+def first_chunk_miss_ratio(result):
+    import numpy as np
+
+    first = [c for c in result.dataset.cdn_chunks if c.chunk_id == 0]
+    return float(np.mean([c.cache_status == "miss" for c in first]))
+
+
+def run_comparison():
+    base = run_config()
+    prefetch = run_config(prefetch_after_miss=True, prefetch_depth=4)
+    warmed = run_config(warm_first_chunks=True)
+    return {
+        "baseline_later_miss": later_chunk_miss_ratio(base),
+        "prefetch_later_miss": later_chunk_miss_ratio(prefetch),
+        "baseline_first_miss": first_chunk_miss_ratio(base),
+        "warmed_first_miss": first_chunk_miss_ratio(warmed),
+    }
+
+
+def test_bench_ablation_prefetch(benchmark):
+    metrics = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    print()
+    for key, value in metrics.items():
+        print(f"  {key} = {value:.4f}")
+    assert metrics["prefetch_later_miss"] < metrics["baseline_later_miss"]
+    assert metrics["warmed_first_miss"] <= metrics["baseline_first_miss"]

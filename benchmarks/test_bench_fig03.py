@@ -1,0 +1,13 @@
+"""Bench fig03 — workload shape (video-length CCDF, popularity skew).
+
+Paper: long-tailed lengths (10 s .. hours); top 10% of videos draw ~66% of
+playbacks.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig03(benchmark):
+    result = run_and_report(benchmark, "fig03")
+    share = result.summary["top10pct_playback_share_observed"]
+    print(f"paper top-10% share ~0.66 | measured {share:.3f}")

@@ -1,0 +1,16 @@
+"""Bench fig04 — startup time vs first-chunk server latency.
+
+Paper: startup grows from ~0.6 s to ~2.5 s as server latency grows to
+600 ms.  Expected shape here: monotone growth of binned medians and a
+clear hit-vs-miss startup gap.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig04(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "fig04", medium_dataset)
+    rows = result.series["rows_center_mean_median_q25_q75_n"]
+    print("server-latency bin center (ms) | median startup (ms) | n")
+    for center, _, median, _, _, n in rows:
+        print(f"  {center:8.1f} | {median:8.1f} | {n}")

@@ -1,0 +1,15 @@
+"""Bench fig06 — cache performance vs video popularity rank.
+
+Paper: miss percentage climbs steeply for unpopular ranks; even hit-only
+server delay grows with rank (disk reads of cold content).
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig06(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "fig06", medium_dataset)
+    print("rank>=x | miss % | hit-only median delay (ms)")
+    latencies = dict(result.series["hit_latency_ms_vs_rank_tail"])
+    for x, miss_pct in result.series["miss_pct_vs_rank_tail"]:
+        print(f"  {x:5d} | {miss_pct:6.2f} | {latencies.get(x, float('nan')):6.2f}")

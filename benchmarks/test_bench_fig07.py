@@ -1,0 +1,15 @@
+"""Bench fig07 — startup delay vs first-chunk SRTT.
+
+Paper: startup grows roughly linearly with network RTT (slow-start rounds
+each cost one RTT).
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig07(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "fig07", medium_dataset)
+    rows = result.series["rows_center_mean_median_q25_q75_n"]
+    print("srtt bin center (ms) | mean startup (ms) | n")
+    for center, mean, _, _, _, n in rows:
+        print(f"  {center:8.1f} | {mean:8.1f} | {n}")

@@ -1,0 +1,18 @@
+"""Bench fig08 — CDFs of per-session srtt_min and sigma(SRTT).
+
+Paper: both a heavy baseline tail (distance/enterprise) and a heavy
+variation tail (congestion episodes) exist across sessions.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig08(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "fig08", medium_dataset)
+    s = result.summary
+    print(
+        f"srtt_min median/p90: {s['median_srtt_min_ms']:.1f}/"
+        f"{s['p90_srtt_min_ms']:.1f} ms; sigma median/p90: "
+        f"{s['median_sigma_srtt_ms']:.1f}/{s['p90_sigma_srtt_ms']:.1f} ms; "
+        f"share above 100 ms baseline: {s['fraction_srtt_min_above_100ms']:.3f}"
+    )

@@ -1,0 +1,17 @@
+"""Bench fig09 — geography of persistent tail-latency prefixes.
+
+Paper: 75% of the persistent tail is outside the US; among nearby US tail
+prefixes ~90% are enterprises.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig09(benchmark, medium_result):
+    result = run_and_report(benchmark, "fig09", medium_result)
+    s = result.summary
+    print(
+        f"paper non-US share ~0.75 | measured {s['non_us_fraction']:.2f}; "
+        f"paper nearby-US enterprise share ~0.90 | measured "
+        f"{s['us_close_enterprise_fraction']:.2f}"
+    )

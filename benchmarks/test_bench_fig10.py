@@ -1,0 +1,16 @@
+"""Bench fig10 — CDF of CV(SRTT) per (prefix, PoP) path.
+
+Paper: ~40% of paths show CV > 1.  Our simulated footprint is smaller and
+calmer; the check is that a heavy high-variation tail exists.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig10(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "fig10", medium_dataset)
+    s = result.summary
+    print(
+        f"paths: {s['n_paths']:.0f}; median CV {s['median_path_cv']:.2f}; "
+        f"share CV>1: {s['fraction_paths_cv_above_1']:.3f} (paper ~0.40)"
+    )

@@ -1,0 +1,19 @@
+"""Bench fig11 — loss vs no-loss sessions.
+
+Paper: session-length and bitrate distributions nearly identical between
+the groups; the re-buffering distribution separates (loss sessions worse).
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig11(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "fig11", medium_dataset)
+    s = result.summary
+    print(
+        f"chunks median loss/no-loss: {s['median_chunks_loss']:.0f}/"
+        f"{s['median_chunks_no_loss']:.0f}; bitrate median: "
+        f"{s['median_bitrate_loss']:.0f}/{s['median_bitrate_no_loss']:.0f} kbps; "
+        f"rebuffer fraction: {s['rebuffer_fraction_loss']:.3f}/"
+        f"{s['rebuffer_fraction_no_loss']:.3f}"
+    )

@@ -1,0 +1,14 @@
+"""Bench fig12 — re-buffering rate vs retransmission rate.
+
+Paper: re-buffering generally climbs with loss rate (0..10% retx ->
+0..~3% rebuffering), with noise because loss position matters too.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig12(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "fig12", medium_dataset)
+    print("retx % bin | mean rebuffer % | n sessions")
+    for center, mean, n in result.series["retx_pct_center__rebuffer_pct__n"]:
+        print(f"  {center:6.1f} | {mean:8.3f} | {n}")

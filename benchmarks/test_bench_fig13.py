@@ -1,0 +1,20 @@
+"""Bench fig13 — early-vs-late loss case study.
+
+Paper: case #1 (0.75% session loss, concentrated in chunk 0) rebuffers;
+case #2 (22% session loss after a 29.8 s buffer was built) plays smoothly.
+The absolute rates differ on our substrate; the inversion is the result.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig13(benchmark):
+    result = run_and_report(benchmark, "fig13")
+    s = result.summary
+    print(
+        f"case1: retx {s['case1_session_retx_pct']:.1f}%, "
+        f"rebuffer {s['case1_total_rebuffer_ms']:.0f} ms | "
+        f"case2: retx {s['case2_session_retx_pct']:.1f}%, "
+        f"rebuffer {s['case2_total_rebuffer_ms']:.0f} ms "
+        f"(buffer at first loss {s['case2_buffer_at_first_loss_ms']/1000:.1f} s)"
+    )

@@ -1,0 +1,15 @@
+"""Bench fig14 — P(rebuffering at chunk X) and conditioned on loss at X.
+
+Paper: loss anywhere lifts rebuffering odds; the lift is largest for the
+earliest chunks (thin buffer).
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig14(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "fig14", medium_dataset)
+    print("chunk | P(rebuf) % | P(rebuf|loss) %")
+    for cid, p, p_loss in result.series["rows_chunkid_p_pgivenloss"]:
+        conditional = f"{100*p_loss:.2f}" if p_loss is not None else "   -"
+        print(f"  {cid:3d} | {100*p:8.2f} | {conditional}")

@@ -1,0 +1,14 @@
+"""Bench fig15 — average retransmission rate per chunk position.
+
+Paper: the first chunk's rate towers over the rest (slow-start burst
+losses), then flattens in congestion avoidance.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig15(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "fig15", medium_dataset)
+    print("chunk | mean retx %")
+    for cid, pct in result.series["retx_rate_by_chunk"]:
+        print(f"  {cid:3d} | {pct:6.2f}")

@@ -1,0 +1,17 @@
+"""Bench fig16 — latency vs throughput shares by performance score.
+
+Paper: chunks with perf score < 1 are overwhelmingly throughput-limited
+(low latency share, huge D_LB gap vs good chunks).
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig16(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "fig16", medium_dataset)
+    s = result.summary
+    print(
+        f"latency-share medians good/bad: {s['median_latency_share_good']:.2f}/"
+        f"{s['median_latency_share_bad']:.2f}; D_LB medians good/bad: "
+        f"{s['median_dlb_good_ms']:.0f}/{s['median_dlb_bad_ms']:.0f} ms"
+    )

@@ -1,0 +1,17 @@
+"""Bench fig17 — download-stack buffering case study + Eq. 4 detection.
+
+Paper: chunk 7 of the example session shows a D_FB spike with unremarkable
+network/server metrics and an impossible instantaneous throughput; Eq. 4
+flags exactly that chunk.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig17(benchmark):
+    result = run_and_report(benchmark, "fig17")
+    s = result.summary
+    print(
+        f"flagged chunk {s['flagged_chunk']:.0f} (expected 7); "
+        f"TP_inst / connection TP = {s['case_tp_over_connection_tp']:.1f}x"
+    )

@@ -1,0 +1,16 @@
+"""Bench fig18 — first-chunk D_FB premium in equivalent conditions.
+
+Paper: the first chunk's median D_FB is ~300 ms above later chunks even
+after filtering to loss-free, warm-window, similar-SRTT, cache-hit chunks.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig18(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "fig18", medium_dataset)
+    s = result.summary
+    print(
+        f"paper first-chunk premium ~300 ms | measured {s['median_gap_ms']:.0f} ms "
+        f"({s['n_first']:.0f} first / {s['n_other']:.0f} other chunks)"
+    )

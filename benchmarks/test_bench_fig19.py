@@ -1,0 +1,22 @@
+"""Bench fig19 — dropped frames vs chunk download rate.
+
+Paper: steep drops below 1 s/s, knee at 1.5 s/s, flat beyond; hardware
+rendering near zero; 85.5% of chunks confirm the 1.5 rule (5.7% saved by
+the buffer, 6.9% CPU-bound anyway).
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig19(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "fig19", medium_dataset)
+    print("rate bin (s/s) | mean dropped %")
+    print(f"  HW-rendered   | {result.series['hw_rendering_drop_pct']:.2f}")
+    for center, mean, _, _, _, _ in result.series["rows_center_mean_median_q25_q75_n"]:
+        print(f"  {center:12.2f} | {mean:6.2f}")
+    s = result.summary
+    print(
+        f"rule split confirm/buffered/cpu-bound: {s['rule_confirming_fraction']:.3f}/"
+        f"{s['low_rate_good_render_fraction']:.3f}/"
+        f"{s['good_rate_bad_render_fraction']:.3f} (paper 0.855/0.057/0.069)"
+    )

@@ -1,0 +1,14 @@
+"""Bench fig20 — controlled CPU-load rendering experiment.
+
+Paper: GPU bar near zero; with software rendering, each additional loaded
+core (of 8) adds roughly a percentage point of dropped frames.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig20(benchmark):
+    result = run_and_report(benchmark, "fig20")
+    print("load level | dropped %")
+    for label, pct in zip(result.series["labels"], result.series["dropped_pct"]):
+        print(f"  {label:>6} | {pct:5.2f}")

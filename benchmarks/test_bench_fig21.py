@@ -1,0 +1,14 @@
+"""Bench fig21 — browser popularity and rendering quality per platform.
+
+Paper: Chrome (internal Flash) and Safari-on-Mac (native HLS) outperform;
+Firefox trails; the unpopular "Other" bucket is worst.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig21(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "fig21", medium_dataset)
+    print("os / browser | chunk share % | mean dropped %")
+    for os_name, browser, share, drops in result.series["rows_os_browser_share_drops"]:
+        print(f"  {os_name:>7} / {browser:<9} | {share:6.2f} | {drops:6.2f}")

@@ -1,0 +1,15 @@
+"""Bench fig22 — the unpopular-browser rendering penalty.
+
+Paper: Yandex/Vivaldi/Opera/Safari-on-Windows drop far more frames than
+the average of everything else, even at good download rates while visible.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_fig22(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "fig22", medium_dataset)
+    print("browser (Windows) | mean dropped %")
+    for browser, pct in result.series["unpopular_rows"]:
+        print(f"  {browser:<12} | {pct:6.2f}")
+    print(f"  rest average | {result.series['rest_mean_drop_pct']:6.2f}")

@@ -1,0 +1,22 @@
+"""Bench: raw simulator throughput (sessions simulated per second).
+
+Not a paper artifact — an engineering benchmark guarding against
+performance regressions in the event loop / TCP model hot path.
+"""
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.driver import simulate
+
+N_SESSIONS = 300
+
+
+def run_simulation():
+    return simulate(SimulationConfig(n_sessions=N_SESSIONS, warmup_sessions=0, seed=42))
+
+
+def test_bench_simulator_throughput(benchmark):
+    result = benchmark.pedantic(run_simulation, rounds=3, iterations=1)
+    assert result.dataset.n_sessions == N_SESSIONS
+    mean_s = benchmark.stats.stats.mean
+    print(f"\n  {N_SESSIONS / mean_s:.0f} sessions/s "
+          f"({result.dataset.n_chunks / mean_s:.0f} chunks/s)")

@@ -1,0 +1,12 @@
+"""Bench table01 — all thirteen key findings of the paper's Table 1.
+
+This is the headline reproduction gate: every finding must be supported by
+the simulated end-to-end trace.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_table01(benchmark, medium_result):
+    result = run_and_report(benchmark, "table01", medium_result)
+    print(result.series["report_text"])

@@ -1,0 +1,15 @@
+"""Bench table04 — orgs ranked by share of sessions with CV(SRTT) > 1.
+
+Paper: the top five are all enterprises at ~40-43%; major residential ISPs
+sit near 1%.  Expected shape: enterprises head the table and beat the best
+residential ISP by a wide factor.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_table04(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "table04", medium_dataset)
+    print("org | high-CV sessions | sessions | %")
+    for org, high, total, pct in result.series["org_rows"][:10]:
+        print(f"  {org:<14} | {high:5d} | {total:6d} | {pct:5.2f}")

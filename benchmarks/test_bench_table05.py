@@ -1,0 +1,20 @@
+"""Bench table05 — platforms by persistent download-stack latency (Eq. 5).
+
+Paper (mean D_DS): Safari/Linux 1041 ms, Safari/Windows 1028 ms,
+Firefox/Windows 283 ms, Other/Windows 281 ms, Firefox/Mac 275 ms.
+Expected shape: Safari-off-Mac on top by a wide margin, mainstream Chrome
+far below, and ~17.6% of chunks with a non-zero bound.
+"""
+
+from bench_util import run_and_report
+
+
+def test_bench_table05(benchmark, medium_dataset):
+    result = run_and_report(benchmark, "table05", medium_dataset)
+    print("os / browser | mean DS (ms) | chunks | nonzero frac")
+    for os_name, browser, mean_ds, n, frac in result.series["platform_rows"][:8]:
+        print(f"  {os_name:>7} / {browser:<9} | {mean_ds:8.1f} | {n:6d} | {frac:.3f}")
+    print(
+        f"paper nonzero-DS share 0.176 | measured "
+        f"{result.summary['nonzero_ds_chunk_fraction']:.3f}"
+    )

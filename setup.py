@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517/660 builds (which need to build a wheel) cannot run.  Providing a
+``setup.py`` and omitting ``[build-system]`` from pyproject.toml makes
+``pip install -e .`` take the legacy ``setup.py develop`` path, which works
+offline.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

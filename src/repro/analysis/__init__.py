@@ -1,0 +1,25 @@
+"""Statistics helpers and per-figure/table experiment reproductions."""
+
+from .stats import (
+    BinnedStat,
+    Cdf,
+    binned_stats,
+    coefficient_of_variation,
+    empirical_ccdf,
+    empirical_cdf,
+    iqr,
+    quantile,
+    zipf_weights,
+)
+
+__all__ = [
+    "Cdf",
+    "BinnedStat",
+    "empirical_cdf",
+    "empirical_ccdf",
+    "binned_stats",
+    "coefficient_of_variation",
+    "quantile",
+    "iqr",
+    "zipf_weights",
+]

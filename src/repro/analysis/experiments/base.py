@@ -1,0 +1,75 @@
+"""Experiment plumbing: result container and registry.
+
+Every paper figure/table maps to one module in this package exposing
+
+* ``EXPERIMENT_ID`` — e.g. ``"fig05"`` / ``"table04"``;
+* ``TITLE`` — the paper artifact it reproduces;
+* ``run(...)`` — returns an :class:`ExperimentResult` whose ``series``
+  holds the plottable data (the same rows/curves the paper shows) and
+  whose ``summary`` holds scalar headline numbers.
+
+``checks`` carries named boolean shape-assertions (the qualitative claims
+that must survive the simulator substitution); EXPERIMENTS.md records the
+paper-vs-measured comparison for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+__all__ = ["ExperimentResult", "register", "get_experiment", "all_experiments"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment reproduction."""
+
+    experiment_id: str
+    title: str
+    series: Dict[str, Any] = field(default_factory=dict)
+    summary: Dict[str, float] = field(default_factory=dict)
+    checks: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def all_checks_passed(self) -> bool:
+        return all(self.checks.values())
+
+    def format_report(self) -> str:
+        """Human-readable report block (used by the bench harness)."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for key, value in self.summary.items():
+            lines.append(f"  {key} = {value:.4g}" if isinstance(value, float) else f"  {key} = {value}")
+        for key, passed in self.checks.items():
+            lines.append(f"  [{'PASS' if passed else 'FAIL'}] {key}")
+        return "\n".join(lines)
+
+
+_REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator: register an experiment's ``run`` under *experiment_id*."""
+
+    def decorator(fn: Callable[..., ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return decorator
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentResult]:
+    """Look up a registered experiment's run function."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_experiments() -> List[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,42 @@
+"""Fig. 12 — re-buffering rate vs retransmission rate across sessions.
+
+Higher loss rates generally indicate higher re-buffering, though §4.2-3
+stresses the relation is noisy because loss *position* matters too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.netdiag import session_rebuffer_vs_retx
+from ...telemetry.dataset import Dataset
+from .base import ExperimentResult, register
+
+EXPERIMENT_ID = "fig12"
+TITLE = "Fig. 12: rebuffering rate vs retransmission rate"
+
+
+@register(EXPERIMENT_ID)
+def run(dataset: Dataset) -> ExperimentResult:
+    rows = session_rebuffer_vs_retx(dataset)
+    centers = [c for c, _, _ in rows]
+    means = [m for _, m, _ in rows]
+    # Correlation over the binned relation.
+    trend = 0.0
+    if len(rows) >= 3 and np.std(centers) > 0 and np.std(means) > 0:
+        trend = float(np.corrcoef(centers, means)[0, 1])
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        series={"retx_pct_center__rebuffer_pct__n": rows},
+        summary={
+            "n_bins": float(len(rows)),
+            "rebuffer_pct_lowest_retx": means[0] if means else float("nan"),
+            "rebuffer_pct_highest_retx": means[-1] if means else float("nan"),
+            "binned_correlation": trend,
+        },
+        checks={
+            "rebuffering_rises_with_loss": len(means) >= 2 and means[-1] > means[0],
+            "positive_trend": trend > 0.3,
+        },
+    )

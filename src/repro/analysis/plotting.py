@@ -1,0 +1,172 @@
+"""Terminal plotting: render the paper's figure shapes without matplotlib.
+
+The execution environment is offline and plot-library-free, so the CLI and
+examples render CDFs, bar charts, and x/y series as Unicode text.  These
+are presentation helpers only — experiment data stays numeric in
+:class:`~repro.analysis.experiments.base.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .stats import empirical_cdf
+
+__all__ = [
+    "ascii_bars",
+    "ascii_cdf",
+    "ascii_series",
+    "format_table",
+    "render_series_auto",
+]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A horizontal bar of *fraction* of *width* columns, sub-char precise."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _BLOCKS[int(remainder * (len(_BLOCKS) - 1))] if full < width else ""
+    return "█" * full + partial
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """A labelled horizontal bar chart (Figs. 20-22 style)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal lengths")
+    if not labels:
+        return ""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(len(str(label)) for label in labels)
+    peak = max(max(values), 1e-12)
+    for label, value in zip(labels, values):
+        bar = _bar(value / peak, width)
+        lines.append(f"  {str(label):>{label_width}} |{bar:<{width}} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    samples: Sequence[float],
+    width: int = 50,
+    height: int = 12,
+    log_x: bool = False,
+    title: Optional[str] = None,
+) -> str:
+    """A CDF curve as a character grid (Figs. 5, 8, 10, 16, 18 style)."""
+    values = [float(v) for v in samples]
+    if not values:
+        return "(no samples)"
+    cdf = empirical_cdf(values)
+    xs = np.asarray(cdf.xs)
+    if log_x:
+        positive = xs[xs > 0]
+        if len(positive) == 0:
+            raise ValueError("log_x requires positive samples")
+        xs = np.log10(np.maximum(xs, positive.min()))
+    lo, hi = float(xs.min()), float(xs.max())
+    span = max(hi - lo, 1e-12)
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, p in zip(xs, cdf.ps):
+        col = min(int((x - lo) / span * (width - 1)), width - 1)
+        row = min(int((1.0 - p) * (height - 1)), height - 1)
+        grid[row][col] = "•"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_label = f"{1.0 - i / (height - 1):.1f}" if height > 1 else "1.0"
+        lines.append(f"  {y_label} |" + "".join(row))
+    x_lo = f"{10**lo:.3g}" if log_x else f"{cdf.xs.min():.3g}"
+    x_hi = f"{10**hi:.3g}" if log_x else f"{cdf.xs.max():.3g}"
+    lines.append("      +" + "-" * width)
+    lines.append(f"       {x_lo}{' ' * max(1, width - len(x_lo) - len(x_hi))}{x_hi}")
+    return "\n".join(lines)
+
+
+def ascii_series(
+    points: Sequence[Tuple[float, float]],
+    width: int = 50,
+    height: int = 12,
+    title: Optional[str] = None,
+) -> str:
+    """An x/y scatter/step series (Figs. 14-15 style)."""
+    if not points:
+        return "(no points)"
+    xs = np.asarray([p[0] for p in points], dtype=float)
+    ys = np.asarray([p[1] for p in points], dtype=float)
+    x_span = max(float(xs.max() - xs.min()), 1e-12)
+    y_span = max(float(ys.max() - ys.min()), 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = min(int((x - xs.min()) / x_span * (width - 1)), width - 1)
+        row = min(int((1.0 - (y - ys.min()) / y_span) * (height - 1)), height - 1)
+        grid[row][col] = "●"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"  {ys.max():.3g}")
+    lines.extend("  |" + "".join(row) for row in grid)
+    lines.append("  +" + "-" * width)
+    lines.append(f"  {ys.min():.3g}  x: {xs.min():.3g} .. {xs.max():.3g}")
+    return "\n".join(lines)
+
+
+def render_series_auto(name: str, value: object, max_samples: int = 5000) -> Optional[str]:
+    """Best-effort terminal rendering for an experiment's series entry.
+
+    Dispatches on shape: a list of numbers becomes a CDF, a list of
+    (x, y) pairs a series plot, a list of (x, y, ...) stat rows a series
+    of its first two columns.  Returns None for shapes with no obvious
+    visual (strings, scalars, tables with labels).
+    """
+    if isinstance(value, (int, float)):
+        return None
+    if not isinstance(value, (list, tuple)) or not value:
+        return None
+    sample = value[0]
+    values = list(value)[:max_samples]
+    if isinstance(sample, (int, float)) and len(values) >= 8:
+        return ascii_cdf([float(v) for v in values], title=f"{name} (CDF)")
+    if (
+        isinstance(sample, (list, tuple))
+        and len(sample) >= 2
+        and all(isinstance(x, (int, float)) for x in sample[:2])
+    ):
+        points = [
+            (float(row[0]), float(row[1]))
+            for row in values
+            if row[1] is not None
+        ]
+        if len(points) >= 2:
+            return ascii_series(points, title=f"{name} (x vs y)")
+    return None
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """A plain aligned table (Tables 4-5 style)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(cells):
+        lines.append("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  " + "-+-".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""Statistical primitives shared by all experiment reproductions.
+
+These helpers mirror the presentation devices used throughout the paper:
+empirical CDFs/CCDFs (Figs. 5, 8, 9, 10, 11, 16, 18), binned means/medians
+with inter-quartile error bars (Figs. 4, 7, 19), and the coefficient of
+variation used for the latency-fluctuation analysis (Fig. 10, Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Cdf",
+    "BinnedStat",
+    "empirical_cdf",
+    "empirical_ccdf",
+    "binned_stats",
+    "coefficient_of_variation",
+    "quantile",
+    "iqr",
+    "zipf_weights",
+]
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical (C)CDF as plottable arrays.
+
+    ``xs`` are the sorted sample values and ``ps`` the cumulative (or
+    complementary-cumulative) probabilities at those values.
+    """
+
+    xs: np.ndarray
+    ps: np.ndarray
+    complementary: bool = False
+
+    def __post_init__(self) -> None:
+        if self.xs.shape != self.ps.shape:
+            raise ValueError("xs and ps must have identical shapes")
+
+    def value_at(self, p: float) -> float:
+        """Return the inverse CDF at probability *p* (nearest sample)."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        if len(self.xs) == 0:
+            raise ValueError("empty CDF")
+        probabilities = 1.0 - self.ps if self.complementary else self.ps
+        index = int(np.searchsorted(probabilities, p, side="left"))
+        index = min(index, len(self.xs) - 1)
+        return float(self.xs[index])
+
+    def prob_at(self, x: float) -> float:
+        """Return P(X <= x) (or P(X > x) for a CCDF) at value *x*."""
+        if len(self.xs) == 0:
+            raise ValueError("empty CDF")
+        index = int(np.searchsorted(self.xs, x, side="right")) - 1
+        if index < 0:
+            return 1.0 if self.complementary else 0.0
+        return float(self.ps[index])
+
+    @property
+    def median(self) -> float:
+        return self.value_at(0.5)
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+
+def empirical_cdf(samples: Sequence[float]) -> Cdf:
+    """Build an empirical CDF from raw samples."""
+    values = np.sort(np.asarray(list(samples), dtype=float))
+    if len(values) == 0:
+        return Cdf(xs=values, ps=values.copy())
+    probabilities = np.arange(1, len(values) + 1, dtype=float) / len(values)
+    return Cdf(xs=values, ps=probabilities)
+
+
+def empirical_ccdf(samples: Sequence[float]) -> Cdf:
+    """Build an empirical CCDF (1 - CDF), as used in Figs. 3(a) and 11(c)."""
+    values = np.sort(np.asarray(list(samples), dtype=float))
+    if len(values) == 0:
+        return Cdf(xs=values, ps=values.copy(), complementary=True)
+    probabilities = 1.0 - np.arange(1, len(values) + 1, dtype=float) / len(values)
+    return Cdf(xs=values, ps=probabilities, complementary=True)
+
+
+@dataclass
+class BinnedStat:
+    """Per-bin summary statistics (mean, median, IQR) over an x/y relation.
+
+    This is the data behind the paper's "average and median with IQR error
+    bars" plots (Figs. 4, 7, 19).
+    """
+
+    bin_edges: np.ndarray
+    centers: np.ndarray = field(default_factory=lambda: np.array([]))
+    means: np.ndarray = field(default_factory=lambda: np.array([]))
+    medians: np.ndarray = field(default_factory=lambda: np.array([]))
+    q25: np.ndarray = field(default_factory=lambda: np.array([]))
+    q75: np.ndarray = field(default_factory=lambda: np.array([]))
+    counts: np.ndarray = field(default_factory=lambda: np.array([]))
+
+    def rows(self) -> List[Tuple[float, float, float, float, float, int]]:
+        """Return (center, mean, median, q25, q75, count) tuples."""
+        return [
+            (
+                float(self.centers[i]),
+                float(self.means[i]),
+                float(self.medians[i]),
+                float(self.q25[i]),
+                float(self.q75[i]),
+                int(self.counts[i]),
+            )
+            for i in range(len(self.centers))
+        ]
+
+
+def binned_stats(
+    x: Sequence[float],
+    y: Sequence[float],
+    bin_edges: Sequence[float],
+    min_count: int = 1,
+) -> BinnedStat:
+    """Bin *y* by *x* and compute mean/median/IQR per bin.
+
+    Bins with fewer than *min_count* samples are dropped (their centers do
+    not appear in the output), matching how sparse tails are omitted from
+    the paper's binned plots.
+    """
+    x_values = np.asarray(list(x), dtype=float)
+    y_values = np.asarray(list(y), dtype=float)
+    if x_values.shape != y_values.shape:
+        raise ValueError("x and y must have identical lengths")
+    edges = np.asarray(list(bin_edges), dtype=float)
+    if len(edges) < 2:
+        raise ValueError("need at least two bin edges")
+    if np.any(np.diff(edges) <= 0):
+        raise ValueError("bin edges must be strictly increasing")
+
+    centers: List[float] = []
+    means: List[float] = []
+    medians: List[float] = []
+    q25s: List[float] = []
+    q75s: List[float] = []
+    counts: List[int] = []
+    bin_index = np.digitize(x_values, edges) - 1
+    for i in range(len(edges) - 1):
+        in_bin = y_values[bin_index == i]
+        if len(in_bin) < min_count:
+            continue
+        centers.append(0.5 * (edges[i] + edges[i + 1]))
+        means.append(float(np.mean(in_bin)))
+        medians.append(float(np.median(in_bin)))
+        q25s.append(float(np.percentile(in_bin, 25)))
+        q75s.append(float(np.percentile(in_bin, 75)))
+        counts.append(len(in_bin))
+
+    return BinnedStat(
+        bin_edges=edges,
+        centers=np.asarray(centers),
+        means=np.asarray(means),
+        medians=np.asarray(medians),
+        q25=np.asarray(q25s),
+        q75=np.asarray(q75s),
+        counts=np.asarray(counts, dtype=int),
+    )
+
+
+def coefficient_of_variation(samples: Sequence[float]) -> float:
+    """CV = stddev / mean, the paper's latency-fluctuation metric (§4.2-2).
+
+    Returns ``nan`` for fewer than two samples or a non-positive mean, since
+    the ratio is undefined there.
+    """
+    values = np.asarray(list(samples), dtype=float)
+    if len(values) < 2:
+        return float("nan")
+    mean = float(np.mean(values))
+    if mean <= 0:
+        return float("nan")
+    return float(np.std(values) / mean)
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Convenience wrapper with validation around :func:`numpy.percentile`."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    values = np.asarray(list(samples), dtype=float)
+    if len(values) == 0:
+        raise ValueError("cannot take the quantile of an empty sequence")
+    return float(np.percentile(values, q * 100.0))
+
+
+def iqr(samples: Sequence[float]) -> Tuple[float, float]:
+    """Return the (25th, 75th) percentile pair used for the error bars."""
+    return quantile(samples, 0.25), quantile(samples, 0.75)
+
+
+def zipf_weights(n: int, alpha: float, top_mass_rank: Optional[int] = None) -> np.ndarray:
+    """Normalized Zipf weights for ranks 1..n: w_k ∝ k^-alpha.
+
+    When *top_mass_rank* is given, also validates that the ranks form a
+    proper distribution; callers use this to assert skew properties like the
+    paper's "top 10% of videos receive ~66% of playbacks".
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks**-alpha
+    weights /= weights.sum()
+    if top_mass_rank is not None and not 0 < top_mass_rank <= n:
+        raise ValueError("top_mass_rank out of range")
+    return weights

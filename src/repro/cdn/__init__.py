@@ -1,0 +1,36 @@
+"""CDN substrate: caches, eviction policies, servers, PoPs, mapping."""
+
+from .backend import BackendService
+from .cache import CacheLevel, CacheStatus, TwoLevelCache
+from .mapping import MappingDecision, TrafficEngineering
+from .policies import (
+    EvictionPolicy,
+    FifoPolicy,
+    GdSizePolicy,
+    LruPolicy,
+    PerfectLfuPolicy,
+    make_policy,
+)
+from .pop import Deployment, Pop, build_default_deployment
+from .server import CdnServer, CdnServerConfig, ServeResult
+
+__all__ = [
+    "BackendService",
+    "CacheLevel",
+    "CacheStatus",
+    "TwoLevelCache",
+    "MappingDecision",
+    "TrafficEngineering",
+    "EvictionPolicy",
+    "LruPolicy",
+    "FifoPolicy",
+    "GdSizePolicy",
+    "PerfectLfuPolicy",
+    "make_policy",
+    "Deployment",
+    "Pop",
+    "build_default_deployment",
+    "CdnServer",
+    "CdnServerConfig",
+    "ServeResult",
+]

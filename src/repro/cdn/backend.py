@@ -1,0 +1,37 @@
+"""Backend origin service: latency model for cache-miss fetches.
+
+§2.1: on a miss the CDN makes a request to the backend service; D_BE is
+measured at the CDN and *includes* network delay to the backend.  The
+paper treats backend-internal problems as rare and out of scope, so the
+model is a stable service-time distribution plus the PoP-dependent
+network round trip; there is no backend queueing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BackendService"]
+
+
+@dataclass
+class BackendService:
+    """The origin store behind all CDN PoPs.
+
+    ``service_mean_ms`` is the backend's internal time to locate and start
+    streaming the object (storage lookup + read).  Heavy-tailed: most
+    requests are fast, a few hit cold storage paths.
+    """
+
+    service_mean_ms: float = 35.0
+    service_sigma: float = 0.7
+
+    def first_byte_latency_ms(self, backend_rtt_ms: float, rng: np.random.Generator) -> float:
+        """D_BE for one miss: network RTT to the backend + service time."""
+        if backend_rtt_ms < 0:
+            raise ValueError("backend_rtt_ms must be non-negative")
+        mu = np.log(self.service_mean_ms) - 0.5 * self.service_sigma**2
+        service = float(rng.lognormal(mu, self.service_sigma))
+        return backend_rtt_ms + service

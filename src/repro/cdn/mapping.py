@@ -1,0 +1,98 @@
+"""Traffic engineering: mapping clients to PoPs and servers.
+
+§4.1: "The traffic engineering system maps clients to CDN nodes using a
+function of geography, latency, load, cache likelihood, etc.  In other
+words, the system tries to route clients to the server that is likely to
+have a hot cache."  We implement that *cache-focused* mapping — nearest PoP
+by geography, then a consistent hash of the video id across the PoP's
+servers — plus the paper's §4.1-3 take-away as an alternative strategy:
+explicitly partitioning/spreading the most popular videos across servers
+to balance load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..workload.geo import GeoPoint
+from ..workload.randomness import stable_hash64
+from .pop import Deployment, Pop
+
+__all__ = ["MappingDecision", "TrafficEngineering"]
+
+VALID_STRATEGIES = ("cache-focused", "popularity-partitioned", "random")
+
+
+@dataclass(frozen=True)
+class MappingDecision:
+    """The (PoP, server) pair chosen for a session."""
+
+    pop: Pop
+    server_id: str
+
+
+@dataclass
+class TrafficEngineering:
+    """Client→server assignment.
+
+    Strategies:
+
+    * ``cache-focused`` (the paper's production behaviour): nearest PoP,
+      then consistent-hash the video id over that PoP's servers, so all
+      requests for a title land on the same server and its cache stays hot.
+      Side effect (§4.1-3): servers drawing the unpopular tail see *lower*
+      load but *worse* latency — the load-performance paradox.
+    * ``popularity-partitioned``: titles ranked in the top
+      ``partition_top_fraction`` are spread over all servers of the PoP by
+      (video, session) hash, while the tail stays cache-focused — the
+      paper's suggested fix for load balancing.
+    * ``random``: uniform server choice within the nearest PoP (a
+      cache-oblivious baseline).
+    """
+
+    deployment: Deployment
+    strategy: str = "cache-focused"
+    partition_top_fraction: float = 0.10
+    #: number of top-ranked titles considered "popular" for partitioning;
+    #: derived from the catalog size by the driver when left to None
+    n_popular_titles: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in VALID_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; choose from {VALID_STRATEGIES}"
+            )
+        if not 0.0 < self.partition_top_fraction <= 1.0:
+            raise ValueError("partition_top_fraction must be in (0, 1]")
+
+    def assign(
+        self,
+        client_location: GeoPoint,
+        video_id: int,
+        video_rank: int,
+        session_id: str,
+    ) -> MappingDecision:
+        """Pick the serving PoP and server for one session."""
+        pop = self.deployment.nearest_pop(client_location)
+        servers = pop.server_ids
+        if self.strategy == "random":
+            index = stable_hash64(f"rnd|{session_id}") % len(servers)
+        elif self.strategy == "popularity-partitioned" and self._is_popular(video_rank):
+            # Spread the hot head across all servers of the PoP.
+            index = stable_hash64(f"part|{video_id}|{session_id}") % len(servers)
+        else:
+            # Cache-focused: one home server per title per PoP.
+            index = stable_hash64(f"cf|{video_id}") % len(servers)
+        return MappingDecision(pop=pop, server_id=servers[index])
+
+    def _is_popular(self, video_rank: int) -> bool:
+        if self.n_popular_titles is None:
+            return False
+        return video_rank < self.n_popular_titles
+
+    def configure_catalog(self, n_videos: int) -> None:
+        """Derive the popular-title cutoff from the catalog size."""
+        self.n_popular_titles = max(1, int(round(n_videos * self.partition_top_fraction)))

@@ -1,0 +1,229 @@
+"""Cache eviction policies: LRU (ATS default) plus the paper's alternatives.
+
+§4.1-1's take-away: "the default LRU cache eviction policy in ATS could be
+changed to better suited policies for popular-heavy workloads such as
+GD-size or perfect-LFU [Breslau et al.]".  We implement LRU, FIFO, GD-Size,
+and Perfect-LFU behind one interface so the cache-policy ablation bench can
+compare them on the same workload.
+
+All policies are O(log n) or better per operation; GD-Size and Perfect-LFU
+use lazy-invalidation heaps.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Tuple
+
+__all__ = [
+    "EvictionPolicy",
+    "LruPolicy",
+    "FifoPolicy",
+    "GdSizePolicy",
+    "PerfectLfuPolicy",
+    "make_policy",
+]
+
+
+class EvictionPolicy(ABC):
+    """Decides which cached object to evict; tracks object metadata.
+
+    The cache calls :meth:`on_insert` when an object is admitted,
+    :meth:`on_hit` on every hit, :meth:`on_remove` when an object leaves
+    for any reason, and :meth:`select_victim` when space must be freed.
+    """
+
+    @abstractmethod
+    def on_insert(self, key: Hashable, size: int, cost: float) -> None:
+        """Register a newly admitted object."""
+
+    @abstractmethod
+    def on_hit(self, key: Hashable) -> None:
+        """Update recency/frequency metadata on a hit."""
+
+    @abstractmethod
+    def on_remove(self, key: Hashable) -> None:
+        """Forget an object (eviction or explicit invalidation)."""
+
+    @abstractmethod
+    def select_victim(self) -> Hashable:
+        """Return the key to evict next.  Undefined when empty."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of tracked objects."""
+
+
+class LruPolicy(EvictionPolicy):
+    """Least-recently-used — Apache Traffic Server's default behaviour."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def on_insert(self, key: Hashable, size: int, cost: float) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_hit(self, key: Hashable) -> None:
+        self._order.move_to_end(key)
+
+    def on_remove(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+
+    def select_victim(self) -> Hashable:
+        if not self._order:
+            raise LookupError("policy is empty")
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class FifoPolicy(EvictionPolicy):
+    """First-in-first-out: insertion order, hits do not refresh."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def on_insert(self, key: Hashable, size: int, cost: float) -> None:
+        if key not in self._order:
+            self._order[key] = None
+
+    def on_hit(self, key: Hashable) -> None:
+        pass  # FIFO ignores recency
+
+    def on_remove(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+
+    def select_victim(self) -> Hashable:
+        if not self._order:
+            raise LookupError("policy is empty")
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class GdSizePolicy(EvictionPolicy):
+    """GreedyDual-Size (Cao & Irani): H = clock + cost / size.
+
+    Evicts the object with the smallest H; on eviction the global clock
+    advances to the victim's H, so recently useful or expensive-to-fetch
+    objects survive longer.  Uses a lazy heap: stale entries are skipped
+    at pop time.
+    """
+
+    def __init__(self) -> None:
+        self._clock = 0.0
+        self._h: Dict[Hashable, float] = {}
+        self._meta: Dict[Hashable, Tuple[int, float]] = {}  # size, cost
+        self._heap: List[Tuple[float, int, Hashable]] = []
+        self._counter = 0
+
+    def _push(self, key: Hashable, h_value: float) -> None:
+        self._counter += 1
+        heapq.heappush(self._heap, (h_value, self._counter, key))
+
+    def on_insert(self, key: Hashable, size: int, cost: float) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        h_value = self._clock + cost / size
+        self._h[key] = h_value
+        self._meta[key] = (size, cost)
+        self._push(key, h_value)
+
+    def on_hit(self, key: Hashable) -> None:
+        if key not in self._meta:
+            return
+        size, cost = self._meta[key]
+        h_value = self._clock + cost / size
+        self._h[key] = h_value
+        self._push(key, h_value)
+
+    def on_remove(self, key: Hashable) -> None:
+        self._h.pop(key, None)
+        self._meta.pop(key, None)
+
+    def select_victim(self) -> Hashable:
+        while self._heap:
+            h_value, _, key = self._heap[0]
+            current = self._h.get(key)
+            if current is None or current != h_value:
+                heapq.heappop(self._heap)  # stale entry
+                continue
+            self._clock = h_value
+            return key
+        raise LookupError("policy is empty")
+
+    def __len__(self) -> int:
+        return len(self._h)
+
+
+class PerfectLfuPolicy(EvictionPolicy):
+    """Perfect LFU: frequency counts persist across evictions (Breslau et al.).
+
+    "Perfect" means the reference count of an object is remembered even
+    while it is not cached, so a popular object re-admitted after eviction
+    keeps its accumulated frequency.
+    """
+
+    def __init__(self) -> None:
+        self._global_freq: Dict[Hashable, int] = {}
+        self._resident: Dict[Hashable, int] = {}  # key -> freq when last pushed
+        self._heap: List[Tuple[int, int, Hashable]] = []
+        self._counter = 0
+
+    def _push(self, key: Hashable) -> None:
+        self._counter += 1
+        freq = self._global_freq[key]
+        self._resident[key] = freq
+        heapq.heappush(self._heap, (freq, self._counter, key))
+
+    def on_insert(self, key: Hashable, size: int, cost: float) -> None:
+        self._global_freq[key] = self._global_freq.get(key, 0) + 1
+        self._push(key)
+
+    def on_hit(self, key: Hashable) -> None:
+        if key not in self._resident:
+            return
+        self._global_freq[key] = self._global_freq.get(key, 0) + 1
+        self._push(key)
+
+    def on_remove(self, key: Hashable) -> None:
+        self._resident.pop(key, None)
+        # frequency is intentionally retained ("perfect" LFU)
+
+    def select_victim(self) -> Hashable:
+        while self._heap:
+            freq, _, key = self._heap[0]
+            current = self._resident.get(key)
+            if current is None or current != freq:
+                heapq.heappop(self._heap)  # stale entry
+                continue
+            return key
+        raise LookupError("policy is empty")
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+
+_POLICY_FACTORIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "gdsize": GdSizePolicy,
+    "gd-size": GdSizePolicy,
+    "lfu": PerfectLfuPolicy,
+    "perfect-lfu": PerfectLfuPolicy,
+}
+
+
+def make_policy(name: str) -> EvictionPolicy:
+    """Instantiate an eviction policy by name (lru, fifo, gdsize, perfect-lfu)."""
+    try:
+        return _POLICY_FACTORIES[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(set(_POLICY_FACTORIES))}"
+        ) from None

@@ -1,0 +1,117 @@
+"""CDN points of presence and the default US deployment.
+
+The paper's sessions were served by 85 CDN servers across the US (§3).  We
+model a deployment as a set of PoPs — each anchored at a US city with a
+handful of co-located servers and a backend round-trip determined by its
+distance from the (single, logically central) backend service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..workload.geo import City, GeoPoint, US_POP_CITIES, haversine_km, propagation_rtt_ms
+
+__all__ = ["Pop", "Deployment", "build_default_deployment"]
+
+#: The backend service sits in a central datacenter (we use a Kansas-ish
+#: centroid so coast PoPs see ~20-40 ms backend RTTs).
+BACKEND_LOCATION = GeoPoint(lat=39.0, lon=-95.0, city="Backend-DC", country="US")
+
+
+@dataclass(frozen=True)
+class Pop:
+    """One point of presence: location plus its server identifiers."""
+
+    pop_id: str
+    location: GeoPoint
+    server_ids: Tuple[str, ...]
+    backend_rtt_ms: float
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.server_ids)
+
+
+@dataclass
+class Deployment:
+    """All PoPs of the CDN."""
+
+    pops: Sequence[Pop]
+
+    def __post_init__(self) -> None:
+        if not self.pops:
+            raise ValueError("deployment must contain at least one PoP")
+        seen = set()
+        for pop in self.pops:
+            for server_id in pop.server_ids:
+                if server_id in seen:
+                    raise ValueError(f"duplicate server id {server_id}")
+                seen.add(server_id)
+
+    @property
+    def n_servers(self) -> int:
+        return sum(pop.n_servers for pop in self.pops)
+
+    def all_server_ids(self) -> List[str]:
+        return [sid for pop in self.pops for sid in pop.server_ids]
+
+    def nearest_pop(self, point: GeoPoint) -> Pop:
+        """PoP with minimum great-circle distance to *point*."""
+        return min(
+            self.pops,
+            key=lambda pop: haversine_km(
+                pop.location.lat, pop.location.lon, point.lat, point.lon
+            ),
+        )
+
+    def pop_of_server(self, server_id: str) -> Pop:
+        for pop in self.pops:
+            if server_id in pop.server_ids:
+                return pop
+        raise KeyError(f"unknown server {server_id}")
+
+
+def build_default_deployment(
+    total_servers: int = 85, cities: Sequence[City] = US_POP_CITIES
+) -> Deployment:
+    """Spread *total_servers* across PoP cities proportional to their weight.
+
+    Every city gets at least one server; the remainder is apportioned by
+    weight (largest-remainder method), matching how real CDNs provision by
+    regional demand.
+    """
+    if total_servers < len(cities):
+        raise ValueError("need at least one server per PoP city")
+    weights = [c.weight for c in cities]
+    total_weight = sum(weights)
+    quotas = [w / total_weight * total_servers for w in weights]
+    counts = [max(1, int(q)) for q in quotas]
+    remainders = sorted(
+        range(len(cities)), key=lambda i: quotas[i] - int(quotas[i]), reverse=True
+    )
+    index = 0
+    while sum(counts) < total_servers:
+        counts[remainders[index % len(remainders)]] += 1
+        index += 1
+    while sum(counts) > total_servers:
+        donor = max(range(len(counts)), key=lambda i: counts[i])
+        counts[donor] -= 1
+
+    pops: List[Pop] = []
+    for city, count in zip(cities, counts):
+        location = GeoPoint(lat=city.lat, lon=city.lon, city=city.name, country=city.country)
+        backend_rtt = propagation_rtt_ms(
+            haversine_km(city.lat, city.lon, BACKEND_LOCATION.lat, BACKEND_LOCATION.lon)
+        ) + 4.0  # switch/host overheads inside both datacenters
+        short = city.name.lower().replace(" ", "-").replace(".", "")
+        pops.append(
+            Pop(
+                pop_id=f"pop-{short}",
+                location=location,
+                server_ids=tuple(f"srv-{short}-{i:02d}" for i in range(count)),
+                backend_rtt_ms=backend_rtt,
+            )
+        )
+    return Deployment(pops=pops)

@@ -1,0 +1,222 @@
+"""The ATS-like CDN server: request queue, cache stack, retry timer, backend.
+
+§2 and §4.1 of the paper describe the serving path we model:
+
+* requests wait in a FIFO queue until a worker reads the headers (D_wait —
+  negligible for most chunks on these well-provisioned servers);
+* the server attempts to open the object (D_open, sub-millisecond);
+* the read (D_read) has three regimes — the bimodal distribution of Fig. 5:
+  RAM-resident objects return in ~1 ms, while anything else pays ATS's
+  **asynchronous open-read-retry timer** (~10 ms, [4] in the paper) before
+  the disk read or backend request proceeds;
+* misses additionally pay D_BE at the backend (~40x the hit latency at the
+  median: 2 ms vs 80 ms in the paper).
+
+The server also exposes the pre-fetching extensions evaluated as ablations
+(§4.1-2 take-aways): warming the first chunks of every title, and
+prefetching subsequent chunks of a session after its first miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from ..workload.randomness import bounded_lognormal, spawn
+from .backend import BackendService
+from .cache import CacheStatus, TwoLevelCache
+
+__all__ = ["ChunkKey", "ServeResult", "CdnServerConfig", "CdnServer"]
+
+#: Cache key for one stored object: (video, chunk index, bitrate).
+ChunkKey = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Latency decomposition of serving one chunk (all in ms).
+
+    ``d_cdn = d_wait + d_open + d_read`` is the paper's server latency;
+    ``d_be`` is nonzero only on a miss.
+    """
+
+    d_wait_ms: float
+    d_open_ms: float
+    d_read_ms: float
+    d_be_ms: float
+    status: CacheStatus
+    retry_timer_hit: bool
+
+    @property
+    def d_cdn_ms(self) -> float:
+        return self.d_wait_ms + self.d_open_ms + self.d_read_ms
+
+    @property
+    def total_ms(self) -> float:
+        """Total server-side latency (D_CDN + D_BE)."""
+        return self.d_cdn_ms + self.d_be_ms
+
+
+@dataclass
+class CdnServerConfig:
+    """Tunable server parameters.
+
+    Defaults are calibrated so that the fleet-wide distributions match the
+    paper: hit-total median ≈2 ms, miss-total median ≈80 ms, D_wait < 1 ms
+    for most chunks, and the D_read distribution bimodal around the 10 ms
+    retry timer.
+    """
+
+    ram_capacity_bytes: int = 128 * 1024**2  # RAM cache (hot set)
+    disk_capacity_bytes: int = 16 * 1024**3  # disk cache
+    policy_name: str = "lru"
+    #: ATS open-read-retry timer: paid whenever the first open attempt
+    #: cannot be served from memory (disk read or backend fetch) [4].
+    retry_timer_ms: float = 10.0
+    ram_read_mean_ms: float = 1.1
+    disk_seek_mean_ms: float = 6.0
+    wait_mean_ms: float = 0.25
+    open_mean_ms: float = 0.12
+    #: worker pool size; queue wait grows only when concurrency approaches it
+    worker_threads: int = 64
+    #: mean service time used for the load estimate (ms)
+    nominal_service_ms: float = 8.0
+
+
+class CdnServer:
+    """One cache server inside a PoP."""
+
+    def __init__(
+        self,
+        server_id: str,
+        backend_rtt_ms: float,
+        config: Optional[CdnServerConfig] = None,
+        backend: Optional[BackendService] = None,
+        seed: int = 0,
+    ) -> None:
+        self.server_id = server_id
+        self.backend_rtt_ms = backend_rtt_ms
+        self.config = config or CdnServerConfig()
+        self.backend = backend or BackendService()
+        self.cache = TwoLevelCache(
+            self.config.ram_capacity_bytes,
+            self.config.disk_capacity_bytes,
+            self.config.policy_name,
+        )
+        self.rng = spawn(seed, f"server|{server_id}")
+        # Load bookkeeping: EWMA of the inter-arrival gap (ms); the rate is
+        # its reciprocal.  (Averaging gaps, not 1/gap, keeps near-
+        # simultaneous arrivals from exploding the estimate.)
+        self._last_arrival_ms: Optional[float] = None
+        self._gap_ewma_ms: Optional[float] = None
+        self.requests_served = 0
+        self.bytes_served = 0
+        self.status_counts: Dict[CacheStatus, int] = {status: 0 for status in CacheStatus}
+        self.backend_fetches = 0
+        self.prefetch_fetches = 0
+
+    # -- load tracking -------------------------------------------------------
+
+    def _update_load(self, now_ms: float) -> None:
+        if self._last_arrival_ms is not None and now_ms >= self._last_arrival_ms:
+            gap = max(now_ms - self._last_arrival_ms, 0.01)
+            if self._gap_ewma_ms is None:
+                self._gap_ewma_ms = gap
+            else:
+                self._gap_ewma_ms = 0.9 * self._gap_ewma_ms + 0.1 * gap
+        self._last_arrival_ms = now_ms
+
+    @property
+    def request_rate_per_s(self) -> float:
+        """Smoothed request arrival rate (requests per second)."""
+        if self._gap_ewma_ms is None or self._gap_ewma_ms <= 0:
+            return 0.0
+        return 1000.0 / self._gap_ewma_ms
+
+    @property
+    def load_estimate(self) -> float:
+        """Approximate worker-pool utilization in [0, ~1+].
+
+        Requests/ms times nominal service time, over the worker count —
+        i.e. offered load relative to capacity.
+        """
+        if self._gap_ewma_ms is None or self._gap_ewma_ms <= 0:
+            return 0.0
+        return (
+            self.config.nominal_service_ms
+            / self._gap_ewma_ms
+            / self.config.worker_threads
+        )
+
+    # -- serving ------------------------------------------------------------
+
+    def serve(self, key: ChunkKey, size_bytes: int, now_ms: float) -> ServeResult:
+        """Serve one chunk request arriving at *now_ms*."""
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        self._update_load(now_ms)
+        self.requests_served += 1
+        self.bytes_served += size_bytes
+        cfg = self.config
+        rng = self.rng
+
+        # Queue wait: negligible on a provisioned server; grows only under
+        # overload (which the paper's fleet, and ours, rarely reaches).
+        d_wait = bounded_lognormal(rng, cfg.wait_mean_ms, 0.9, 0.01, 50.0)
+        if self.load_estimate > 0.8:
+            d_wait += float(rng.exponential(3.0)) * (self.load_estimate - 0.8) * 10.0
+        d_open = bounded_lognormal(rng, cfg.open_mean_ms, 0.7, 0.01, 5.0)
+
+        status = self.cache.lookup(key, size_bytes)
+        self.status_counts[status] += 1
+        d_be = 0.0
+        retry_hit = False
+        if status is CacheStatus.HIT_RAM:
+            d_read = bounded_lognormal(rng, cfg.ram_read_mean_ms, 0.45, 0.2, 30.0)
+        elif status is CacheStatus.HIT_DISK:
+            # First open attempt fails (not in memory) -> async retry timer,
+            # then the actual disk seek+read.
+            retry_hit = True
+            d_read = cfg.retry_timer_ms + bounded_lognormal(
+                rng, cfg.disk_seek_mean_ms, 0.55, 0.5, 80.0
+            )
+        else:
+            retry_hit = True
+            d_read = cfg.retry_timer_ms + bounded_lognormal(rng, 0.6, 0.5, 0.1, 10.0)
+            d_be = self.backend.first_byte_latency_ms(self.backend_rtt_ms, rng)
+            self.backend_fetches += 1
+            self.cache.admit(key, size_bytes, fetch_cost=d_be)
+        return ServeResult(
+            d_wait_ms=d_wait,
+            d_open_ms=d_open,
+            d_read_ms=d_read,
+            d_be_ms=d_be,
+            status=status,
+            retry_timer_hit=retry_hit,
+        )
+
+    # -- prefetching extensions (§4.1 take-aways, used by ablations) --------
+
+    def prefetch(self, key: ChunkKey, size_bytes: int) -> bool:
+        """Asynchronously warm *key* from the backend if absent.
+
+        Returns True if a backend fetch was issued.  The fetch happens off
+        the request path, so no latency is charged here; the next request
+        for *key* will find it cached.
+        """
+        if size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.cache.contains(key):
+            return False
+        self.cache.admit(key, size_bytes)
+        self.prefetch_fetches += 1
+        return True
+
+    @property
+    def cache_miss_ratio(self) -> float:
+        """Fraction of served requests that missed both cache levels."""
+        if self.requests_served == 0:
+            return 0.0
+        return self.status_counts[CacheStatus.MISS] / self.requests_served

@@ -1,0 +1,235 @@
+"""Command-line interface: simulate, analyze, and reproduce from a shell.
+
+Usage (also via ``python -m repro``):
+
+    repro simulate --sessions 2000 --out trace/         # run + persist
+    repro analyze trace/                                 # QoE + localization
+    repro findings trace/                                # Table-1 checks
+    repro experiment fig05 [--scale small] [--plot]      # reproduce a figure
+    repro report --scale medium --out report.md          # the whole suite
+    repro list                                           # experiment catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis import plotting
+from .core import diagnose_dataset, evaluate_key_findings, filter_proxies, qoe, whatif
+from .simulation.config import SimulationConfig
+from .simulation.driver import simulate
+from .telemetry.io import load_dataset, save_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "End-to-end video streaming characterization "
+            "(IMC 2016 reproduction)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sim = commands.add_parser("simulate", help="simulate a collection period")
+    sim.add_argument("--sessions", type=int, default=2000)
+    sim.add_argument("--warmup", type=int, default=None,
+                     help="warmup sessions (default: 2x sessions)")
+    sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument("--videos", type=int, default=150)
+    sim.add_argument("--abr", choices=["rate", "buffer", "hybrid"], default="rate")
+    sim.add_argument("--out", required=True, help="output dataset directory")
+
+    analyze = commands.add_parser("analyze", help="QoE + bottleneck localization")
+    analyze.add_argument("dataset", help="dataset directory from 'simulate'")
+    analyze.add_argument("--no-proxy-filter", action="store_true")
+
+    findings = commands.add_parser("findings", help="evaluate Table-1 findings")
+    findings.add_argument("dataset", help="dataset directory from 'simulate'")
+
+    experiment = commands.add_parser("experiment", help="reproduce a paper artifact")
+    experiment.add_argument("experiment_id", help="e.g. fig05, table04")
+    experiment.add_argument(
+        "--scale", choices=["tiny", "small", "medium", "large"], default="small"
+    )
+    experiment.add_argument(
+        "--plot", action="store_true", help="render the series as terminal charts"
+    )
+
+    commands.add_parser("list", help="list reproducible paper artifacts")
+
+    report = commands.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report.add_argument(
+        "--scale", choices=["tiny", "small", "medium", "large"], default="small"
+    )
+    report.add_argument("--out", default=None, help="markdown file (default: stdout)")
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    warmup = args.warmup if args.warmup is not None else 2 * args.sessions
+    config = SimulationConfig(
+        n_sessions=args.sessions,
+        warmup_sessions=warmup,
+        seed=args.seed,
+        n_videos=args.videos,
+        abr_name=args.abr,
+    )
+    print(f"simulating {args.sessions} sessions (+{warmup} warmup), seed {args.seed}...")
+    result = simulate(config)
+    path = save_dataset(result.dataset, args.out)
+    print(
+        f"wrote {result.dataset.n_sessions} sessions / "
+        f"{result.dataset.n_chunks} chunks to {path}"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    if not args.no_proxy_filter:
+        dataset, report = filter_proxies(dataset)
+        print(
+            f"proxy filter kept {report.n_kept_sessions}/{report.n_input_sessions} "
+            f"sessions {report.removal_reasons()}"
+        )
+    summary = qoe.summarize(dataset)
+    print(
+        plotting.format_table(
+            ["metric", "value"],
+            [(k, f"{v:.4g}") for k, v in summary.items()],
+            title="\nQoE summary",
+        )
+    )
+    fractions = diagnose_dataset(dataset)
+    if fractions:
+        ordered = sorted(fractions.items(), key=lambda kv: kv[1], reverse=True)
+        print()
+        print(
+            plotting.ascii_bars(
+                [k for k, _ in ordered],
+                [100.0 * v for _, v in ordered],
+                unit="%",
+                title="Bottleneck localization (share of chunks)",
+            )
+        )
+    headrooms = whatif.all_headrooms(dataset)
+    if headrooms:
+        print("\nCounterfactual headroom (upper bounds on direct effects):")
+        for report in headrooms.values():
+            print(f"  {report}")
+    return 0
+
+
+def _cmd_findings(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    dataset, _ = filter_proxies(dataset)
+    report = evaluate_key_findings(dataset)
+    print(report)
+    return 0 if report.all_passed else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    # imported lazily: pulls in the full experiment registry
+    from .analysis.experiments import (
+        DATASET_EXPERIMENTS,
+        RESULT_EXPERIMENTS,
+        common,
+        run_experiment,
+    )
+
+    experiment_id = args.experiment_id
+    if experiment_id in DATASET_EXPERIMENTS:
+        result = run_experiment(experiment_id, common.filtered_dataset(args.scale))
+    elif experiment_id in RESULT_EXPERIMENTS:
+        result = run_experiment(experiment_id, common.standard_result(args.scale))
+    else:
+        result = run_experiment(experiment_id)
+    print(result.format_report())
+    if args.plot:
+        for name, value in result.series.items():
+            chart = plotting.render_series_auto(name, value)
+            if chart:
+                print()
+                print(chart)
+    return 0 if result.all_checks_passed else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.experiments import run_all
+
+    results = run_all(scale=args.scale)
+    lines = [
+        "# Reproduction report",
+        "",
+        f"Scale: {args.scale}; experiments: {len(results)}.",
+        "",
+    ]
+    n_passed = 0
+    for experiment_id in sorted(results):
+        result = results[experiment_id]
+        status = "PASS" if result.all_checks_passed else "FAIL"
+        n_passed += result.all_checks_passed
+        lines.append(f"## {experiment_id} — {result.title} [{status}]")
+        lines.append("")
+        for key, value in result.summary.items():
+            rendered = f"{value:.4g}" if isinstance(value, float) else str(value)
+            lines.append(f"- {key} = {rendered}")
+        failed = [name for name, ok in result.checks.items() if not ok]
+        if failed:
+            lines.append(f"- failed checks: {', '.join(failed)}")
+        lines.append("")
+    lines.insert(3, f"**{n_passed}/{len(results)} experiments pass all checks.**")
+    text = "\n".join(lines)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out} ({n_passed}/{len(results)} passing)")
+    else:
+        print(text)
+    return 0 if n_passed == len(results) else 1
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .analysis.experiments import all_experiments, get_experiment
+
+    for experiment_id in all_experiments():
+        module = sys.modules[get_experiment(experiment_id).__module__]
+        title = getattr(module, "TITLE", "")
+        print(f"  {experiment_id:<9} {title}")
+    return 0
+
+
+_HANDLERS = {
+    "simulate": _cmd_simulate,
+    "analyze": _cmd_analyze,
+    "findings": _cmd_findings,
+    "experiment": _cmd_experiment,
+    "list": _cmd_list,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except BrokenPipeError:
+        # the reader went away (e.g. piped into `head`) — normal exit
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

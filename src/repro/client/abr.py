@@ -1,0 +1,250 @@
+"""Adaptive-bitrate algorithms.
+
+§2: "The ABR algorithm, that has been tuned and tested in the wild to
+balance between low startup delay, low re-buffering rate, high quality and
+smoothness, chooses a bitrate for each chunk."  The paper does not publish
+Yahoo's ABR, so we provide the three families its related-work section
+names — rate-based [23, 32], buffer-based [20], and hybrid [37] — plus the
+paper's own §4.3 recommendation as an option: screening download-stack
+outliers out of the throughput estimate before adapting.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ChunkObservation",
+    "AbrAlgorithm",
+    "RateBasedAbr",
+    "BufferBasedAbr",
+    "HybridAbr",
+    "make_abr",
+]
+
+
+@dataclass(frozen=True)
+class ChunkObservation:
+    """What the player can measure about a completed chunk download."""
+
+    bitrate_kbps: float
+    dfb_ms: float
+    dlb_ms: float
+    chunk_bytes: int
+
+    @property
+    def download_ms(self) -> float:
+        return self.dfb_ms + self.dlb_ms
+
+    @property
+    def throughput_kbps(self) -> float:
+        """Client-side throughput over the whole chunk download (request to
+        last byte).  Robust to download-stack bursts by construction."""
+        if self.download_ms <= 0:
+            return 0.0
+        return self.chunk_bytes * 8.0 / self.download_ms  # bits/ms == kbps
+
+    @property
+    def instantaneous_throughput_kbps(self) -> float:
+        """Throughput over the data-delivery window only (bytes / D_LB).
+
+        This is the estimate the paper's over-shooting discussion targets:
+        when the download stack buffers a chunk and releases it as a
+        burst, D_LB collapses and this value becomes impossibly high.
+        """
+        if self.dlb_ms <= 0:
+            return 0.0
+        return self.chunk_bytes * 8.0 / self.dlb_ms
+
+
+class AbrAlgorithm(ABC):
+    """Chooses the next chunk's bitrate from client-visible history."""
+
+    def __init__(self, ladder_kbps: Sequence[int]) -> None:
+        if not ladder_kbps:
+            raise ValueError("ladder must be non-empty")
+        if list(ladder_kbps) != sorted(ladder_kbps):
+            raise ValueError("ladder must be sorted ascending")
+        self.ladder = tuple(ladder_kbps)
+
+    @abstractmethod
+    def choose_bitrate(self, buffer_level_ms: float) -> int:
+        """Bitrate (kbps) for the next chunk request."""
+
+    @abstractmethod
+    def observe(self, observation: ChunkObservation) -> None:
+        """Record a completed chunk download."""
+
+    def _highest_not_above(self, target_kbps: float) -> int:
+        """Largest ladder rung <= target (or the lowest rung)."""
+        candidate = self.ladder[0]
+        for rung in self.ladder:
+            if rung <= target_kbps:
+                candidate = rung
+            else:
+                break
+        return candidate
+
+
+class RateBasedAbr(AbrAlgorithm):
+    """Throughput-rule ABR: harmonic mean of recent chunk throughputs.
+
+    ``screen_outliers`` implements the paper's §4.3 recommendation: drop
+    throughput samples more than two standard deviations above the window
+    mean before estimating, so download-stack bursts (instantaneous-looking
+    throughput) do not cause over-shooting.
+    """
+
+    def __init__(
+        self,
+        ladder_kbps: Sequence[int],
+        window: int = 5,
+        safety: float = 0.8,
+        screen_outliers: bool = False,
+        startup_rung: int = 4,
+        use_instantaneous: bool = False,
+    ) -> None:
+        super().__init__(ladder_kbps)
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if not 0.0 < safety <= 1.0:
+            raise ValueError("safety must be in (0, 1]")
+        self.window = window
+        self.safety = safety
+        self.screen_outliers = screen_outliers
+        #: estimate from D_LB only (burst-vulnerable, the paper's
+        #: over-shooting case) instead of the full download window
+        self.use_instantaneous = use_instantaneous
+        #: first-chunk rung before any throughput sample exists.  Production
+        #: players do not start at the floor (the paper's §4.2-1 take-away
+        #: recommends a "more conservative initial bitrate" for known-bad
+        #: prefixes, implying the default start is mid-ladder).
+        self.startup_rung = min(max(startup_rung, 0), len(self.ladder) - 1)
+        self._samples: Deque[float] = deque(maxlen=window)
+
+    def observe(self, observation: ChunkObservation) -> None:
+        throughput = (
+            observation.instantaneous_throughput_kbps
+            if self.use_instantaneous
+            else observation.throughput_kbps
+        )
+        if throughput > 0:
+            self._samples.append(throughput)
+
+    def estimate_kbps(self) -> Optional[float]:
+        """Current throughput estimate; None before any samples."""
+        samples = list(self._samples)
+        if self.screen_outliers and len(samples) >= 3:
+            # Leave-one-out screening: within a short window, a single
+            # extreme sample inflates the window's own mean/std so much
+            # that it can never exceed mean + 2*std (max z-score of n
+            # samples is (n-1)/sqrt(n) < 2 for n <= 5).  Judging each
+            # sample against the *other* samples' statistics fixes that.
+            kept = []
+            for i, sample in enumerate(samples):
+                rest = samples[:i] + samples[i + 1 :]
+                mean = float(np.mean(rest))
+                # Floor the spread at 5% of the mean so a near-constant
+                # window still rejects a wild sample (zero variance would
+                # otherwise make the threshold degenerate).
+                std = max(float(np.std(rest)), 0.05 * mean)
+                if sample <= mean + 2.0 * std:
+                    kept.append(sample)
+            samples = kept or samples
+        if not samples:
+            return None
+        return len(samples) / sum(1.0 / s for s in samples)  # harmonic mean
+
+    def choose_bitrate(self, buffer_level_ms: float) -> int:
+        estimate = self.estimate_kbps()
+        if estimate is None:
+            return self.ladder[self.startup_rung]
+        return self._highest_not_above(self.safety * estimate)
+
+
+class BufferBasedAbr(AbrAlgorithm):
+    """BBA-style ABR [20]: bitrate is a function of buffer occupancy only.
+
+    Below the reservoir -> lowest rung; above the cushion -> highest rung;
+    linear ladder mapping in between.
+    """
+
+    def __init__(
+        self,
+        ladder_kbps: Sequence[int],
+        reservoir_ms: float = 6_000.0,
+        cushion_ms: float = 24_000.0,
+    ) -> None:
+        super().__init__(ladder_kbps)
+        if reservoir_ms < 0 or cushion_ms <= reservoir_ms:
+            raise ValueError("need 0 <= reservoir < cushion")
+        self.reservoir_ms = reservoir_ms
+        self.cushion_ms = cushion_ms
+
+    def observe(self, observation: ChunkObservation) -> None:
+        pass  # buffer-based ABR ignores throughput history
+
+    def choose_bitrate(self, buffer_level_ms: float) -> int:
+        if buffer_level_ms <= self.reservoir_ms:
+            return self.ladder[0]
+        if buffer_level_ms >= self.cushion_ms:
+            return self.ladder[-1]
+        fraction = (buffer_level_ms - self.reservoir_ms) / (
+            self.cushion_ms - self.reservoir_ms
+        )
+        index = int(fraction * (len(self.ladder) - 1))
+        return self.ladder[index]
+
+
+class HybridAbr(AbrAlgorithm):
+    """Rate-based choice, capped by a buffer-safety rule [37]-style.
+
+    With a thin buffer the pick is clamped to at most one rung above the
+    buffer-based choice; with a deep buffer the throughput rule wins.
+    """
+
+    def __init__(
+        self,
+        ladder_kbps: Sequence[int],
+        window: int = 5,
+        safety: float = 0.9,
+        reservoir_ms: float = 6_000.0,
+        cushion_ms: float = 24_000.0,
+        screen_outliers: bool = False,
+    ) -> None:
+        super().__init__(ladder_kbps)
+        self._rate = RateBasedAbr(
+            ladder_kbps, window=window, safety=safety, screen_outliers=screen_outliers
+        )
+        self._buffer = BufferBasedAbr(
+            ladder_kbps, reservoir_ms=reservoir_ms, cushion_ms=cushion_ms
+        )
+
+    def observe(self, observation: ChunkObservation) -> None:
+        self._rate.observe(observation)
+
+    def choose_bitrate(self, buffer_level_ms: float) -> int:
+        rate_pick = self._rate.choose_bitrate(buffer_level_ms)
+        buffer_pick = self._buffer.choose_bitrate(buffer_level_ms)
+        buffer_index = self.ladder.index(buffer_pick)
+        cap = self.ladder[min(buffer_index + 1, len(self.ladder) - 1)]
+        return min(rate_pick, cap)
+
+
+def make_abr(name: str, ladder_kbps: Sequence[int], **kwargs) -> AbrAlgorithm:
+    """Factory: 'rate', 'buffer', or 'hybrid' (kwargs pass through)."""
+    factories = {
+        "rate": RateBasedAbr,
+        "buffer": BufferBasedAbr,
+        "hybrid": HybridAbr,
+    }
+    try:
+        factory = factories[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown ABR {name!r}; choose from {sorted(factories)}") from None
+    return factory(ladder_kbps, **kwargs)

@@ -1,0 +1,167 @@
+"""Browser/OS platform profiles: market share, download-stack and rendering.
+
+§3 of the paper gives the population mix (Chrome 43%, Firefox 37%, IE 13%,
+Safari 6%, other 2%; Windows 88.5%, OS X 9.38%) and §4.3/§4.4 characterize
+per-platform behaviour: persistent download-stack latency (Table 5 — Safari
+off-Mac ≈1 s, Firefox ≈280 ms) and rendering quality (Figs. 21-22 — browsers
+with internal Flash or native HLS outperform; unpopular browsers such as
+Yandex, Vivaldi, Opera, and Safari-on-Windows drop the most frames).
+
+Each :class:`PlatformProfile` encodes those published numbers as model
+parameters; the workload generator samples platforms from the share table
+and the simulator consumes the parameters directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PlatformProfile",
+    "PLATFORM_PROFILES",
+    "platform_key",
+    "sample_platform",
+    "user_agent_string",
+]
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """Behavioural parameters of one (OS, browser) combination.
+
+    download-stack model (§4.3):
+
+    * ``ds_chunk_prob`` — probability that a given chunk accrues a non-zero
+      persistent download-stack delay (paper: 17.6% of all chunks overall,
+      strongly platform-dependent).
+    * ``ds_mean_ms`` / ``ds_sigma`` — lognormal magnitude of that delay;
+      means are calibrated to Table 5.
+    * ``first_chunk_extra_ms`` — extra first-chunk latency from progress-event
+      registration and data-path setup (§4.3-3: median ≈300 ms higher).
+    * ``transient_buffer_prob`` — probability a chunk is buffered inside the
+      stack and released as a burst (§4.3-1: ≈0.32% of chunks overall).
+
+    rendering model (§4.4):
+
+    * ``render_inefficiency`` — multiplier on the dropped-frame fraction;
+      1.0 is an average browser, <1 means internal-Flash/native pipelines,
+      >2 the unpopular browsers of Fig. 22.
+    """
+
+    os: str
+    browser: str
+    share: float  # joint population share (sums to ~1 across the table)
+    ds_chunk_prob: float
+    ds_mean_ms: float
+    ds_sigma: float
+    first_chunk_extra_ms: float
+    transient_buffer_prob: float
+    render_inefficiency: float
+    popular: bool = True
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.os, self.browser)
+
+
+def _p(
+    os: str,
+    browser: str,
+    share: float,
+    ds_prob: float,
+    ds_mean: float,
+    ineff: float,
+    popular: bool = True,
+    first_extra: float = 300.0,
+    transient: float = 0.0032,
+    ds_sigma: float = 0.6,
+) -> PlatformProfile:
+    return PlatformProfile(
+        os=os,
+        browser=browser,
+        share=share,
+        ds_chunk_prob=ds_prob,
+        ds_mean_ms=ds_mean,
+        ds_sigma=ds_sigma,
+        first_chunk_extra_ms=first_extra,
+        transient_buffer_prob=transient,
+        render_inefficiency=ineff,
+        popular=popular,
+    )
+
+
+#: The platform table.  Shares reproduce §3's marginals: Windows 88.5%,
+#: OS X 9.4%, Linux ~2.1%; Chrome 43%, Firefox 37%, IE 13%, Safari 6%,
+#: other ~2% (split across named unpopular browsers).  Download-stack means
+#: (given non-zero DS) reproduce Table 5; render inefficiencies reproduce
+#: the orderings of Figs. 21-22.
+PLATFORM_PROFILES: Tuple[PlatformProfile, ...] = (
+    # --- Windows (88.5%) ---
+    _p("Windows", "Chrome", 0.375, 0.10, 90.0, 0.70),
+    _p("Windows", "Firefox", 0.315, 0.22, 283.0, 1.40),
+    _p("Windows", "IE", 0.130, 0.14, 120.0, 1.00),
+    _p("Windows", "Edge", 0.012, 0.14, 150.0, 1.10),
+    _p("Windows", "Safari", 0.004, 0.55, 1028.0, 3.00, popular=False),
+    _p("Windows", "Opera", 0.004, 0.30, 290.0, 2.50, popular=False),
+    _p("Windows", "Yandex", 0.003, 0.40, 600.0, 3.50, popular=False),
+    _p("Windows", "Vivaldi", 0.002, 0.30, 280.0, 3.00, popular=False),
+    _p("Windows", "SeaMonkey", 0.002, 0.40, 550.0, 3.20, popular=False),
+    _p("Windows", "Other", 0.038, 0.28, 281.0, 2.20, popular=False),
+    # --- OS X (9.4%) ---
+    _p("Mac", "Chrome", 0.036, 0.10, 85.0, 0.70),
+    _p("Mac", "Firefox", 0.024, 0.20, 275.0, 1.30),
+    _p("Mac", "Safari", 0.030, 0.08, 90.0, 0.60),
+    _p("Mac", "Other", 0.004, 0.25, 260.0, 2.00, popular=False),
+    # --- Linux (~2.1%) ---
+    _p("Linux", "Chrome", 0.010, 0.12, 100.0, 0.80),
+    _p("Linux", "Firefox", 0.009, 0.22, 290.0, 1.50),
+    _p("Linux", "Safari", 0.002, 0.55, 1041.0, 3.20, popular=False),
+)
+
+
+def platform_key(os: str, browser: str) -> Tuple[str, str]:
+    """Canonical dictionary key for an (OS, browser) combination."""
+    return (os, browser)
+
+
+_PROFILE_INDEX: Dict[Tuple[str, str], PlatformProfile] = {p.key: p for p in PLATFORM_PROFILES}
+
+
+def get_profile(os: str, browser: str) -> PlatformProfile:
+    """Look up the profile for an (OS, browser) pair."""
+    try:
+        return _PROFILE_INDEX[(os, browser)]
+    except KeyError:
+        raise KeyError(f"unknown platform {os}/{browser}") from None
+
+
+def sample_platform(rng: np.random.Generator) -> PlatformProfile:
+    """Sample a platform from the joint share table."""
+    shares = np.asarray([p.share for p in PLATFORM_PROFILES], dtype=float)
+    shares /= shares.sum()
+    return PLATFORM_PROFILES[int(rng.choice(len(PLATFORM_PROFILES), p=shares))]
+
+
+def browser_shares_by_os() -> Dict[str, List[Tuple[str, float]]]:
+    """Per-OS browser shares, normalized within each OS (Fig. 21 x-axis)."""
+    by_os: Dict[str, List[Tuple[str, float]]] = {}
+    for profile in PLATFORM_PROFILES:
+        by_os.setdefault(profile.os, []).append((profile.browser, profile.share))
+    normalized: Dict[str, List[Tuple[str, float]]] = {}
+    for os_name, pairs in by_os.items():
+        total = sum(share for _, share in pairs)
+        normalized[os_name] = [(browser, share / total) for browser, share in pairs]
+    return normalized
+
+
+def user_agent_string(profile: PlatformProfile) -> str:
+    """A synthetic but realistic-looking user-agent string for the profile."""
+    os_token = {
+        "Windows": "Windows NT 10.0; Win64; x64",
+        "Mac": "Macintosh; Intel Mac OS X 10_11",
+        "Linux": "X11; Linux x86_64",
+    }[profile.os]
+    return f"Mozilla/5.0 ({os_token}) {profile.browser}/Flash"

@@ -1,0 +1,112 @@
+"""Playback buffer with rebuffering accounting.
+
+§2.1, playout phase: "As a chunk is downloaded, it is added to the playback
+buffer.  If the playback buffer does not contain enough data, the player
+pauses and waits for sufficient data; in case of an already playing video,
+this causes a rebuffering event."
+
+The buffer operates on the chunk-arrival timeline: the player appends media
+as chunks complete and the model tracks where the playhead would be in real
+time, charging any stall to the chunk that was being waited for (that is
+how the paper attributes ``bufcount``/``bufdur`` per chunk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["RebufferEvent", "PlaybackBuffer"]
+
+
+@dataclass(frozen=True)
+class RebufferEvent:
+    """One stall: when it started, how long it lasted, which chunk ended it."""
+
+    start_ms: float
+    duration_ms: float
+    chunk_index: int
+
+
+@dataclass
+class PlaybackBuffer:
+    """Chunk-granularity playback buffer model.
+
+    The player calls :meth:`on_chunk_ready` for every chunk in order.
+    Playback starts when the first chunk is complete (startup); afterwards
+    the buffer drains at 1 media-ms per wall-ms.  If a chunk arrives after
+    the buffer ran dry, the model records a rebuffer event covering the dry
+    interval and resumes playback on arrival.
+    """
+
+    #: media time buffered ahead of the playhead, in ms
+    level_ms: float = 0.0
+    started: bool = False
+    startup_at_ms: Optional[float] = None
+    events: List[RebufferEvent] = field(default_factory=list)
+    _last_update_ms: Optional[float] = None
+    _total_media_ms: float = 0.0
+
+    def on_chunk_ready(self, chunk_index: int, media_ms: float, now_ms: float) -> Tuple[int, float]:
+        """Append *media_ms* of content completing at *now_ms*.
+
+        Returns ``(rebuffer_count, rebuffer_ms)`` charged to this chunk —
+        zero for the first chunk, whose waiting time is startup delay, not
+        rebuffering (the paper keeps the two metrics separate).
+        """
+        if media_ms <= 0:
+            raise ValueError("media_ms must be positive")
+        if self._last_update_ms is not None and now_ms < self._last_update_ms:
+            raise ValueError("chunks must arrive in nondecreasing time order")
+
+        rebuffer_count = 0
+        rebuffer_ms = 0.0
+        if not self.started:
+            self.started = True
+            self.startup_at_ms = now_ms
+        else:
+            previous = self._last_update_ms if self._last_update_ms is not None else now_ms
+            elapsed = now_ms - previous
+            if elapsed >= self.level_ms:
+                # The buffer ran dry before this chunk arrived.
+                stall = elapsed - self.level_ms
+                if stall > 0:
+                    rebuffer_count = 1
+                    rebuffer_ms = stall
+                    self.events.append(
+                        RebufferEvent(
+                            start_ms=now_ms - stall,
+                            duration_ms=stall,
+                            chunk_index=chunk_index,
+                        )
+                    )
+                self.level_ms = 0.0
+            else:
+                self.level_ms -= elapsed
+        self.level_ms += media_ms
+        self._total_media_ms += media_ms
+        self._last_update_ms = now_ms
+        return rebuffer_count, rebuffer_ms
+
+    def level_at(self, now_ms: float) -> float:
+        """Buffered media remaining at wall time *now_ms* (>= last chunk)."""
+        if self._last_update_ms is None:
+            return 0.0
+        if now_ms < self._last_update_ms:
+            raise ValueError("cannot query the past")
+        if not self.started:
+            return self.level_ms
+        return max(0.0, self.level_ms - (now_ms - self._last_update_ms))
+
+    @property
+    def total_rebuffer_ms(self) -> float:
+        return sum(event.duration_ms for event in self.events)
+
+    @property
+    def total_rebuffer_count(self) -> int:
+        return len(self.events)
+
+    @property
+    def total_media_ms(self) -> float:
+        """All media appended so far (for rebuffering-rate denominators)."""
+        return self._total_media_ms

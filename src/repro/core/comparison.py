@@ -1,0 +1,160 @@
+"""A/B comparison of two telemetry datasets, with bootstrap uncertainty.
+
+The operational loop the paper motivates: change something (cache policy,
+ABR, pacing, a new PoP), collect a new period, and ask *did QoE move, and
+is the movement larger than sampling noise?*  Sessions are the resampling
+unit (chunks within a session are correlated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..telemetry.dataset import Dataset, SessionView
+
+__all__ = ["MetricDelta", "ComparisonReport", "bootstrap_ci", "compare_datasets"]
+
+
+def bootstrap_ci(
+    samples: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for *statistic* of *samples*."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    values = np.asarray(list(samples), dtype=float)
+    if len(values) == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    rng = np.random.default_rng(seed)
+    estimates = np.empty(n_resamples)
+    for i in range(n_resamples):
+        resample = values[rng.integers(0, len(values), len(values))]
+        estimates[i] = statistic(resample)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.percentile(estimates, 100 * alpha)),
+        float(np.percentile(estimates, 100 * (1 - alpha))),
+    )
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's A-vs-B movement."""
+
+    metric: str
+    value_a: float
+    value_b: float
+    ci_a: Tuple[float, float]
+    ci_b: Tuple[float, float]
+
+    @property
+    def delta(self) -> float:
+        return self.value_b - self.value_a
+
+    @property
+    def relative_delta(self) -> float:
+        if self.value_a == 0:
+            return float("inf") if self.delta else 0.0
+        return self.delta / abs(self.value_a)
+
+    @property
+    def significant(self) -> bool:
+        """True when the two confidence intervals do not overlap."""
+        return self.ci_a[1] < self.ci_b[0] or self.ci_b[1] < self.ci_a[0]
+
+    def __str__(self) -> str:
+        marker = "*" if self.significant else " "
+        return (
+            f"{marker} {self.metric}: {self.value_a:.4g} -> {self.value_b:.4g} "
+            f"({self.relative_delta:+.1%})"
+        )
+
+
+#: session-level metric extractors used by :func:`compare_datasets`
+_SESSION_METRICS: Dict[str, Callable[[SessionView], Optional[float]]] = {
+    "startup_ms": lambda s: s.startup_delay_ms,
+    "rebuffer_rate_pct": lambda s: 100.0 * s.rebuffer_rate,
+    "avg_bitrate_kbps": lambda s: s.avg_bitrate_kbps,
+    "retx_rate_pct": lambda s: 100.0 * s.session_retx_rate,
+    "dropped_frame_pct": lambda s: (
+        100.0
+        * sum(c.player.dropped_frames for c in s.chunks)
+        / max(sum(c.player.total_frames for c in s.chunks), 1)
+    ),
+}
+
+
+@dataclass
+class ComparisonReport:
+    """All metric deltas between dataset A (baseline) and B (candidate)."""
+
+    deltas: List[MetricDelta]
+    n_sessions_a: int
+    n_sessions_b: int
+
+    def by_metric(self, metric: str) -> MetricDelta:
+        for delta in self.deltas:
+            if delta.metric == metric:
+                return delta
+        raise KeyError(metric)
+
+    @property
+    def significant_changes(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.significant]
+
+    def __str__(self) -> str:
+        lines = [
+            f"A: {self.n_sessions_a} sessions vs B: {self.n_sessions_b} sessions "
+            f"('*' = significant at the bootstrap CI level)"
+        ]
+        lines.extend(str(d) for d in self.deltas)
+        return "\n".join(lines)
+
+
+def compare_datasets(
+    dataset_a: Dataset,
+    dataset_b: Dataset,
+    n_resamples: int = 500,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> ComparisonReport:
+    """Compare the session-level QoE of two collection periods.
+
+    Dataset A is the baseline, B the candidate; each metric reports both
+    values, bootstrap CIs, and whether the CIs separate.
+    """
+    sessions_a = dataset_a.sessions()
+    sessions_b = dataset_b.sessions()
+    deltas: List[MetricDelta] = []
+    for metric, extractor in _SESSION_METRICS.items():
+        values_a = [v for v in (extractor(s) for s in sessions_a) if v is not None]
+        values_b = [v for v in (extractor(s) for s in sessions_b) if v is not None]
+        if not values_a or not values_b:
+            continue
+        deltas.append(
+            MetricDelta(
+                metric=metric,
+                value_a=float(np.mean(values_a)),
+                value_b=float(np.mean(values_b)),
+                ci_a=bootstrap_ci(
+                    values_a, n_resamples=n_resamples, confidence=confidence, seed=seed
+                ),
+                ci_b=bootstrap_ci(
+                    values_b,
+                    n_resamples=n_resamples,
+                    confidence=confidence,
+                    seed=seed + 1,
+                ),
+            )
+        )
+    return ComparisonReport(
+        deltas=deltas,
+        n_sessions_a=len(sessions_a),
+        n_sessions_b=len(sessions_b),
+    )

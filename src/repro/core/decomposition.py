@@ -1,0 +1,87 @@
+"""First-byte-delay decomposition — the paper's Eq. 1 and its estimators.
+
+Eq. 1:  D_FB = D_CDN + D_BE + D_DS + rtt0
+
+The player measures D_FB; the CDN logs D_CDN and D_BE; neither side can
+observe D_DS or rtt0 directly.  §4.2 derives the workable estimators this
+module implements:
+
+* ``rtt0_upper_bound`` — D_FB − (D_CDN + D_BE) bounds rtt0 from above
+  (the residual also contains D_DS);
+* ``chunk_baseline_rtt`` — min(SRTT samples, rtt0 upper bound), the
+  per-chunk baseline latency sample that avoids self-loading inflation;
+* ``session_min_rtt`` / σ(SRTT) — the per-session baseline and variation
+  statistics behind Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..telemetry.dataset import JoinedChunk, SessionView
+
+__all__ = [
+    "rtt0_upper_bound",
+    "chunk_baseline_rtt",
+    "session_min_rtt",
+    "session_srtt_samples",
+    "session_srtt_sigma",
+    "server_latency_exceeds_network",
+]
+
+
+def rtt0_upper_bound(chunk: JoinedChunk) -> float:
+    """Upper bound on the chunk's request round-trip time (Eq. 1 residual).
+
+    D_FB − (D_CDN + D_BE) = rtt0 + D_DS >= rtt0.  Floored at a small
+    positive value: clock skew between the two measurement points can push
+    the raw residual below zero.
+    """
+    residual = chunk.player.dfb_ms - (chunk.cdn.d_cdn_ms + chunk.cdn.d_be_ms)
+    return max(residual, 0.1)
+
+
+def chunk_baseline_rtt(chunk: JoinedChunk) -> float:
+    """Per-chunk baseline network latency sample (§4.2-1).
+
+    SRTT samples taken mid-transfer may include self-loading queueing
+    delay, so the paper takes the minimum of the chunk's SRTT samples and
+    the rtt0 upper bound.
+    """
+    candidates: List[float] = [rtt0_upper_bound(chunk)]
+    candidates.extend(chunk.srtt_samples)
+    return min(candidates)
+
+
+def session_min_rtt(session: SessionView) -> Optional[float]:
+    """srtt_min for a session: min over all per-chunk baselines (Fig. 8)."""
+    if not session.chunks:
+        return None
+    return min(chunk_baseline_rtt(chunk) for chunk in session.chunks)
+
+
+def session_srtt_samples(session: SessionView) -> List[float]:
+    """All SRTT snapshot values of the session, in time order."""
+    samples: List[float] = []
+    for chunk in session.chunks:
+        samples.extend(chunk.srtt_samples)
+    return samples
+
+
+def session_srtt_sigma(session: SessionView) -> Optional[float]:
+    """σ(SRTT) across the session's snapshots (the Fig. 8 variation curve)."""
+    samples = session_srtt_samples(session)
+    if len(samples) < 2:
+        return None
+    return float(np.std(samples))
+
+
+def server_latency_exceeds_network(chunk: JoinedChunk) -> bool:
+    """Does the server contribute more to D_FB than the network RTT?
+
+    §4.1: true for ~5% of chunks, and cache misses dominate that 5%.
+    """
+    return chunk.cdn.total_server_ms > chunk_baseline_rtt(chunk)

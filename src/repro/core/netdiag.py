@@ -1,0 +1,236 @@
+"""Network diagnosis — §4.2: latency baselines, variability, and loss timing.
+
+Implements the paper's session- and path-level network statistics:
+
+* per-session srtt_min and σ(SRTT) (Fig. 8) via :mod:`.decomposition`;
+* coefficient of variation of SRTT per session, aggregated per
+  ISP/organization (Table 4) and per (prefix, PoP) path (Fig. 10);
+* loss analysis from the retransmission counters: loss vs no-loss session
+  QoE (Figs. 11-12), per-chunk retransmission rates (Fig. 15), and the
+  rebuffering-given-loss-position conditionals (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.stats import coefficient_of_variation
+from ..net.prefix import is_valid_ipv4, prefix_of
+from ..telemetry.dataset import Dataset, SessionView
+from .decomposition import session_srtt_samples
+
+__all__ = [
+    "session_srtt_cv",
+    "OrgCvRow",
+    "org_cv_table",
+    "path_cv_values",
+    "LossSplit",
+    "split_sessions_by_loss",
+    "per_chunk_retx_rates",
+    "rebuffer_given_loss_by_chunk",
+    "session_rebuffer_vs_retx",
+]
+
+
+def session_srtt_cv(session: SessionView) -> Optional[float]:
+    """CV(SRTT) of one session (§4.2-2); None without enough samples."""
+    samples = session_srtt_samples(session)
+    if len(samples) < 2:
+        return None
+    cv = coefficient_of_variation(samples)
+    return None if np.isnan(cv) else cv
+
+
+@dataclass(frozen=True)
+class OrgCvRow:
+    """One row of the Table 4 reproduction."""
+
+    org: str
+    n_high_cv: int
+    n_sessions: int
+
+    @property
+    def percentage(self) -> float:
+        return 100.0 * self.n_high_cv / self.n_sessions if self.n_sessions else 0.0
+
+
+def org_cv_table(
+    dataset: Dataset,
+    min_sessions: int = 50,
+    cv_threshold: float = 1.0,
+) -> List[OrgCvRow]:
+    """Share of sessions with CV(SRTT) > threshold per organization.
+
+    Reproduces Table 4 ("we limit the result to ISPs/organizations that
+    have at least 50 video streaming sessions"), sorted worst-first.
+    """
+    counts: Dict[str, Tuple[int, int]] = {}
+    org_of = {s.session_id: s.org for s in dataset.cdn_sessions}
+    for session in dataset.sessions():
+        org = org_of.get(session.session_id)
+        if org is None:
+            continue
+        cv = session_srtt_cv(session)
+        if cv is None:
+            continue
+        high, total = counts.get(org, (0, 0))
+        counts[org] = (high + (1 if cv > cv_threshold else 0), total + 1)
+
+    rows = [
+        OrgCvRow(org=org, n_high_cv=high, n_sessions=total)
+        for org, (high, total) in counts.items()
+        if total >= min_sessions
+    ]
+    rows.sort(key=lambda r: r.percentage, reverse=True)
+    return rows
+
+
+def path_cv_values(dataset: Dataset, min_sessions: int = 5) -> List[float]:
+    """CV of per-session average SRTT per (prefix, PoP) path (Fig. 10).
+
+    "sessions are grouped based on their prefix and CDN PoP ... we used the
+    average srtt of each session as the sample latency."
+    """
+    pop_of = {s.session_id: s.pop_id for s in dataset.cdn_sessions}
+    ip_of = {s.session_id: s.client_ip for s in dataset.cdn_sessions}
+    paths: Dict[Tuple[str, str], List[float]] = {}
+    for session in dataset.sessions():
+        samples = session_srtt_samples(session)
+        if not samples:
+            continue
+        ip = ip_of.get(session.session_id)
+        pop = pop_of.get(session.session_id)
+        if ip is None or pop is None or not is_valid_ipv4(ip):
+            continue
+        paths.setdefault((prefix_of(ip), pop), []).append(float(np.mean(samples)))
+
+    values: List[float] = []
+    for samples in paths.values():
+        if len(samples) < min_sessions:
+            continue
+        cv = coefficient_of_variation(samples)
+        if not np.isnan(cv):
+            values.append(cv)
+    return values
+
+
+@dataclass
+class LossSplit:
+    """Sessions partitioned by whether the connection retransmitted at all."""
+
+    with_loss: List[SessionView]
+    without_loss: List[SessionView]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-group medians of the Fig. 11 metrics."""
+
+        def describe(group: List[SessionView]) -> Dict[str, float]:
+            if not group:
+                return {"n": 0}
+            return {
+                "n": len(group),
+                "median_chunks": float(np.median([s.n_chunks for s in group])),
+                "median_bitrate_kbps": float(
+                    np.median([s.avg_bitrate_kbps for s in group])
+                ),
+                "rebuffer_session_fraction": float(
+                    np.mean([s.rebuffer_rate > 0 for s in group])
+                ),
+                "mean_rebuffer_rate": float(np.mean([s.rebuffer_rate for s in group])),
+            }
+
+        return {"loss": describe(self.with_loss), "no_loss": describe(self.without_loss)}
+
+
+def split_sessions_by_loss(dataset: Dataset) -> LossSplit:
+    """Partition sessions by retransmission evidence (Fig. 11's two groups)."""
+    with_loss: List[SessionView] = []
+    without_loss: List[SessionView] = []
+    for session in dataset.sessions():
+        (with_loss if session.session_retx_rate > 0 else without_loss).append(session)
+    return LossSplit(with_loss=with_loss, without_loss=without_loss)
+
+
+def per_chunk_retx_rates(
+    dataset: Dataset, max_chunk_id: int = 20, mss: int = 1460
+) -> List[Tuple[int, float]]:
+    """Average retransmission rate per chunk position (Fig. 15).
+
+    The per-chunk retransmission count is the delta of the cumulative
+    counter between consecutive chunks; the rate divides by the chunk's
+    estimated segment count.
+    """
+    rates: Dict[int, List[float]] = {}
+    for session in dataset.sessions():
+        for (chunk_id, retx), chunk in zip(session.chunk_retx_counts(), session.chunks):
+            if chunk_id > max_chunk_id:
+                continue
+            segments = max(1, chunk.cdn.chunk_bytes // mss)
+            rates.setdefault(chunk_id, []).append(retx / segments)
+    return [
+        (chunk_id, float(np.mean(values)))
+        for chunk_id, values in sorted(rates.items())
+    ]
+
+
+def rebuffer_given_loss_by_chunk(
+    dataset: Dataset, max_chunk_id: int = 20
+) -> List[Tuple[int, float, Optional[float]]]:
+    """Fig. 14: (chunk id, P(rebuf at chunk), P(rebuf at chunk | loss at chunk)).
+
+    The conditional is None for positions with no loss events.  Note the
+    paper's convention: a session's very first chunk cannot rebuffer (its
+    wait is startup delay), so position 0 probabilities are near zero and
+    the conditional spike appears at the *following* positions.
+    """
+    unconditional: Dict[int, List[bool]] = {}
+    conditional: Dict[int, List[bool]] = {}
+    for session in dataset.sessions():
+        for (chunk_id, retx), chunk in zip(session.chunk_retx_counts(), session.chunks):
+            if chunk_id > max_chunk_id:
+                continue
+            rebuffered = chunk.player.rebuffer_count > 0
+            unconditional.setdefault(chunk_id, []).append(rebuffered)
+            if retx > 0:
+                conditional.setdefault(chunk_id, []).append(rebuffered)
+    rows: List[Tuple[int, float, Optional[float]]] = []
+    for chunk_id in sorted(unconditional):
+        p = float(np.mean(unconditional[chunk_id]))
+        p_given_loss = (
+            float(np.mean(conditional[chunk_id])) if chunk_id in conditional else None
+        )
+        rows.append((chunk_id, p, p_given_loss))
+    return rows
+
+
+def session_rebuffer_vs_retx(
+    dataset: Dataset, retx_bin_edges: Sequence[float] = (0, 1, 2, 3, 4, 5, 6, 8, 10)
+) -> List[Tuple[float, float, int]]:
+    """Fig. 12: mean re-buffering rate (%) binned by retransmission rate (%).
+
+    Returns (bin center %, mean rebuffer rate %, n sessions) rows.
+    """
+    edges = list(retx_bin_edges)
+    if len(edges) < 2:
+        raise ValueError("need at least two bin edges")
+    sessions = dataset.sessions()
+    rows: List[Tuple[float, float, int]] = []
+    for low, high in zip(edges[:-1], edges[1:]):
+        in_bin = [
+            s
+            for s in sessions
+            if low <= 100.0 * s.session_retx_rate < high
+        ]
+        if not in_bin:
+            continue
+        rows.append(
+            (
+                (low + high) / 2.0,
+                float(np.mean([100.0 * s.rebuffer_rate for s in in_bin])),
+                len(in_bin),
+            )
+        )
+    return rows

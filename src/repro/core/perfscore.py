@@ -1,0 +1,60 @@
+"""Chunk performance score — the paper's Eq. 2 and the latency/throughput split.
+
+Eq. 2:  perf_score = τ / (D_FB + D_LB)
+
+A score below 1 means downloading the chunk took longer than the media it
+carries — the playback buffer shrank.  §4.2-4 splits a chunk's download
+time into a latency share D_FB/(D_FB+D_LB) and a throughput share
+D_LB/(D_FB+D_LB) and finds that chunks with bad scores are predominantly
+throughput-limited (Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from ..telemetry.dataset import JoinedChunk
+from ..telemetry.records import PlayerChunkRecord
+
+__all__ = [
+    "perf_score",
+    "latency_share",
+    "throughput_share",
+    "split_by_score",
+]
+
+
+def perf_score(chunk: PlayerChunkRecord) -> float:
+    """Eq. 2: chunk duration over total download time."""
+    total = chunk.dfb_ms + chunk.dlb_ms
+    if total <= 0:
+        return float("inf")
+    return chunk.chunk_duration_ms / total
+
+
+def latency_share(chunk: PlayerChunkRecord) -> float:
+    """D_FB share of the chunk's download time (Fig. 16(a))."""
+    total = chunk.dfb_ms + chunk.dlb_ms
+    if total <= 0:
+        return 0.0
+    return chunk.dfb_ms / total
+
+
+def throughput_share(chunk: PlayerChunkRecord) -> float:
+    """D_LB share of the chunk's download time."""
+    return 1.0 - latency_share(chunk)
+
+
+def split_by_score(
+    chunks: Iterable[JoinedChunk], threshold: float = 1.0
+) -> Tuple[List[JoinedChunk], List[JoinedChunk]]:
+    """Partition chunks into (good, bad) by perf score vs *threshold*."""
+    good: List[JoinedChunk] = []
+    bad: List[JoinedChunk] = []
+    for chunk in chunks:
+        if perf_score(chunk.player) >= threshold:
+            good.append(chunk)
+        else:
+            bad.append(chunk)
+    return good, bad

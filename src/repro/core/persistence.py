@@ -1,0 +1,229 @@
+"""Persistent-problem analysis — §4.1-2 and §4.2-1: prefixes and sessions.
+
+Two families of persistence the paper characterizes:
+
+* **Prefix-level network persistence** (§4.2-1): aggregate sessions into
+  /24 prefixes, find the tail-latency prefixes (srtt_min > 100 ms), repeat
+  per day, and keep the prefixes that recur — then explain them by
+  geography (international distance) vs enterprise paths (Fig. 9).
+* **Session-level server persistence** (§4.1-2): once a session has one
+  cache miss (or one high-latency read), further ones become much more
+  likely — the unpopular-video signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..net.prefix import is_valid_ipv4, prefix_of
+from ..telemetry.dataset import Dataset, SessionView
+from ..workload.geo import GeoPoint, haversine_km
+from .decomposition import chunk_baseline_rtt, session_min_rtt
+
+__all__ = [
+    "prefix_min_rtt",
+    "TailPrefixReport",
+    "tail_latency_prefixes",
+    "SessionPersistenceReport",
+    "session_server_persistence",
+]
+
+
+def prefix_min_rtt(dataset: Dataset) -> Dict[str, float]:
+    """srtt_min per /24 prefix: minimum of all per-chunk baselines (§4.2-1).
+
+    "A prefix has more RTT samples than a session; hence, congestion is
+    less likely to inflate all samples."
+    """
+    ip_of = {s.session_id: s.client_ip for s in dataset.cdn_sessions}
+    minima: Dict[str, float] = {}
+    for session in dataset.sessions():
+        ip = ip_of.get(session.session_id)
+        if ip is None or not is_valid_ipv4(ip):
+            continue
+        baseline = session_min_rtt(session)
+        if baseline is None:
+            continue
+        key = prefix_of(ip)
+        minima[key] = min(minima.get(key, float("inf")), baseline)
+    return minima
+
+
+@dataclass
+class TailPrefixReport:
+    """Persistent tail-latency prefixes and their explanation (Fig. 9)."""
+
+    persistent_prefixes: List[str]
+    recurrence: Dict[str, float]
+    non_us_fraction: float
+    us_distances_km: List[float]
+    us_enterprise_close_fraction: float
+
+    @property
+    def n_persistent(self) -> int:
+        return len(self.persistent_prefixes)
+
+
+def _split_into_days(dataset: Dataset, n_days: int) -> List[Dataset]:
+    """Partition the dataset into *n_days* equal sub-windows by session start."""
+    starts = {s.session_id: s.start_ms for s in dataset.player_sessions}
+    if not starts:
+        return []
+    lo = min(starts.values())
+    hi = max(starts.values()) + 1.0
+    width = (hi - lo) / n_days
+    buckets: List[List[str]] = [[] for _ in range(n_days)]
+    for session_id, start in starts.items():
+        index = min(int((start - lo) / width), n_days - 1)
+        buckets[index].append(session_id)
+    return [dataset.filter_sessions(ids) for ids in buckets if ids]
+
+
+def tail_latency_prefixes(
+    dataset: Dataset,
+    pop_locations: Mapping[str, GeoPoint],
+    latency_threshold_ms: float = 100.0,
+    n_days: int = 3,
+    top_recurrence_fraction: float = 0.10,
+    close_km: float = 200.0,
+) -> TailPrefixReport:
+    """§4.2-1's full pipeline: tail prefixes → recurrence → geography.
+
+    *pop_locations* maps pop_id → location (the provider knows its own
+    deployment).  Distances are client-prefix to *serving* PoP, averaged
+    when a prefix is served from several.
+    """
+    if not 0 < top_recurrence_fraction <= 1:
+        raise ValueError("top_recurrence_fraction must be in (0, 1]")
+    days = _split_into_days(dataset, n_days)
+    if not days:
+        return TailPrefixReport([], {}, 0.0, [], 0.0)
+
+    appearances: Dict[str, int] = {}
+    for day in days:
+        minima = prefix_min_rtt(day)
+        for prefix, minimum in minima.items():
+            if minimum > latency_threshold_ms:
+                appearances[prefix] = appearances.get(prefix, 0) + 1
+    recurrence = {p: count / len(days) for p, count in appearances.items()}
+    if not recurrence:
+        return TailPrefixReport([], {}, 0.0, [], 0.0)
+
+    ranked = sorted(recurrence.items(), key=lambda kv: kv[1], reverse=True)
+    keep = max(1, int(round(len(ranked) * top_recurrence_fraction)))
+    cutoff = ranked[keep - 1][1]
+    persistent = [p for p, freq in ranked if freq >= cutoff]
+
+    # Geography of the persistent prefixes, from the CDN session metadata.
+    info: Dict[str, Tuple[str, str, float, float, List[str]]] = {}
+    for cdn_session in dataset.cdn_sessions:
+        if not is_valid_ipv4(cdn_session.client_ip):
+            continue
+        prefix = prefix_of(cdn_session.client_ip)
+        if prefix not in info:
+            info[prefix] = (
+                cdn_session.country,
+                cdn_session.conn_type,
+                cdn_session.lat,
+                cdn_session.lon,
+                [],
+            )
+        info[prefix][4].append(cdn_session.pop_id)
+
+    non_us = 0
+    us_distances: List[float] = []
+    us_close_enterprise = 0
+    us_close_total = 0
+    for prefix in persistent:
+        meta = info.get(prefix)
+        if meta is None:
+            continue
+        country, conn_type, lat, lon, pops = meta
+        if country != "US":
+            non_us += 1
+            continue
+        distances = [
+            haversine_km(lat, lon, pop_locations[p].lat, pop_locations[p].lon)
+            for p in pops
+            if p in pop_locations
+        ]
+        if not distances:
+            continue
+        mean_distance = float(np.mean(distances))
+        us_distances.append(mean_distance)
+        if mean_distance <= close_km:
+            us_close_total += 1
+            if conn_type == "corporate":
+                us_close_enterprise += 1
+
+    return TailPrefixReport(
+        persistent_prefixes=persistent,
+        recurrence=recurrence,
+        non_us_fraction=non_us / len(persistent) if persistent else 0.0,
+        us_distances_km=us_distances,
+        us_enterprise_close_fraction=(
+            us_close_enterprise / us_close_total if us_close_total else 0.0
+        ),
+    )
+
+
+@dataclass
+class SessionPersistenceReport:
+    """§4.1-2: conditional persistence of server-side problems."""
+
+    overall_miss_ratio: float
+    mean_miss_ratio_given_one_miss: float
+    median_miss_ratio_given_one_miss: float
+    overall_slow_read_ratio: float
+    mean_slow_ratio_given_one_slow: float
+    median_slow_ratio_given_one_slow: float
+    n_sessions_with_miss: int
+    n_sessions_with_slow: int
+
+
+def session_server_persistence(
+    dataset: Dataset, slow_read_threshold_ms: float = 10.0
+) -> SessionPersistenceReport:
+    """Cache-miss and slow-read persistence within sessions (§4.1-2).
+
+    "Once a session has a cache miss on one chunk, the chance of further
+    cache misses increases dramatically; the mean cache miss ratio among
+    sessions with at least one cache miss is 60%."
+    """
+    miss_ratios_all: List[float] = []
+    miss_ratios_conditional: List[float] = []
+    slow_ratios_all: List[float] = []
+    slow_ratios_conditional: List[float] = []
+    for session in dataset.sessions():
+        if not session.chunks:
+            continue
+        misses = [not chunk.cdn.is_hit for chunk in session.chunks]
+        slows = [chunk.cdn.d_read_ms > slow_read_threshold_ms for chunk in session.chunks]
+        miss_ratio = float(np.mean(misses))
+        slow_ratio = float(np.mean(slows))
+        miss_ratios_all.append(miss_ratio)
+        slow_ratios_all.append(slow_ratio)
+        if any(misses):
+            miss_ratios_conditional.append(miss_ratio)
+        if any(slows):
+            slow_ratios_conditional.append(slow_ratio)
+
+    def mean_or_zero(values: List[float]) -> float:
+        return float(np.mean(values)) if values else 0.0
+
+    def median_or_zero(values: List[float]) -> float:
+        return float(np.median(values)) if values else 0.0
+
+    return SessionPersistenceReport(
+        overall_miss_ratio=mean_or_zero(miss_ratios_all),
+        mean_miss_ratio_given_one_miss=mean_or_zero(miss_ratios_conditional),
+        median_miss_ratio_given_one_miss=median_or_zero(miss_ratios_conditional),
+        overall_slow_read_ratio=mean_or_zero(slow_ratios_all),
+        mean_slow_ratio_given_one_slow=mean_or_zero(slow_ratios_conditional),
+        median_slow_ratio_given_one_slow=median_or_zero(slow_ratios_conditional),
+        n_sessions_with_miss=len(miss_ratios_conditional),
+        n_sessions_with_slow=len(slow_ratios_conditional),
+    )

@@ -1,0 +1,170 @@
+"""Popularity analysis — §4.1: rank vs cache behaviour, and the load paradox.
+
+Ranks are *observed*: videos are ranked by request volume within the
+dataset, exactly as the paper does ("most popular video is ranked first"
+using one day of data).  The analyses:
+
+* cache-miss percentage vs video rank (Fig. 6(a));
+* hit-only server delay vs rank (Fig. 6(b)) — even cache hits are slower
+  for unpopular titles because they come from disk;
+* the load-performance paradox (§4.1-3): under cache-focused mapping, the
+  busier servers are the *faster* ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..telemetry.dataset import Dataset
+
+__all__ = [
+    "video_ranks",
+    "rank_tail_miss_percentage",
+    "rank_tail_hit_latency",
+    "ServerLoadRow",
+    "server_load_vs_latency",
+    "load_latency_correlation",
+]
+
+
+def video_ranks(dataset: Dataset) -> Dict[int, int]:
+    """Rank videos by observed session count: {video_id: rank}, rank 0 hottest."""
+    counts: Dict[int, int] = {}
+    for session in dataset.player_sessions:
+        counts[session.video_id] = counts.get(session.video_id, 0) + 1
+    ordered = sorted(counts.items(), key=lambda kv: kv[1], reverse=True)
+    return {video_id: rank for rank, (video_id, _) in enumerate(ordered)}
+
+
+def _per_video_stats(dataset: Dataset) -> Dict[int, Tuple[int, int, List[float]]]:
+    """{video_id: (n_chunks, n_misses, hit-only server latencies)}."""
+    video_of = {s.session_id: s.video_id for s in dataset.player_sessions}
+    stats: Dict[int, Tuple[int, int, List[float]]] = {}
+    for chunk in dataset.cdn_chunks:
+        video_id = video_of.get(chunk.session_id)
+        if video_id is None:
+            continue
+        n, misses, hits = stats.setdefault(video_id, (0, 0, []))
+        n += 1
+        if chunk.cache_status == "miss":
+            misses += 1
+        else:
+            hits.append(chunk.d_cdn_ms)
+        stats[video_id] = (n, misses, hits)
+    return stats
+
+
+def rank_tail_miss_percentage(
+    dataset: Dataset, rank_points: Optional[Sequence[int]] = None
+) -> List[Tuple[int, float]]:
+    """Fig. 6(a): miss percentage among videos with rank >= x.
+
+    Returns (x, miss % over all chunks of videos ranked x or colder).
+    Monotone increase with x is the paper's unpopularity signature.
+    """
+    ranks = video_ranks(dataset)
+    stats = _per_video_stats(dataset)
+    n_videos = len(ranks)
+    if n_videos == 0:
+        return []
+    if rank_points is None:
+        rank_points = [int(round(f * n_videos)) for f in (0.0, 0.2, 0.4, 0.6, 0.8, 0.9)]
+    by_rank = sorted(
+        (rank, stats.get(video_id, (0, 0, [])))
+        for video_id, rank in ranks.items()
+    )
+    rows: List[Tuple[int, float]] = []
+    for x in rank_points:
+        chunks = sum(n for rank, (n, _, _) in by_rank if rank >= x)
+        misses = sum(m for rank, (_, m, _) in by_rank if rank >= x)
+        if chunks == 0:
+            continue
+        rows.append((x, 100.0 * misses / chunks))
+    return rows
+
+
+def rank_tail_hit_latency(
+    dataset: Dataset, rank_points: Optional[Sequence[int]] = None
+) -> List[Tuple[int, float]]:
+    """Fig. 6(b): median hit-only server delay among videos ranked >= x.
+
+    Cache misses are excluded ("no backend communication"); the residual
+    increase with rank is the disk-read (seek + retry-timer) cost of
+    content that is not fresh in memory.
+    """
+    ranks = video_ranks(dataset)
+    stats = _per_video_stats(dataset)
+    n_videos = len(ranks)
+    if n_videos == 0:
+        return []
+    if rank_points is None:
+        rank_points = [int(round(f * n_videos)) for f in (0.0, 0.2, 0.4, 0.6, 0.8, 0.9)]
+    by_rank = sorted(
+        (rank, stats.get(video_id, (0, 0, [])))
+        for video_id, rank in ranks.items()
+    )
+    rows: List[Tuple[int, float]] = []
+    for x in rank_points:
+        latencies = [
+            latency
+            for rank, (_, _, hit_latencies) in by_rank
+            if rank >= x
+            for latency in hit_latencies
+        ]
+        if not latencies:
+            continue
+        rows.append((x, float(np.median(latencies))))
+    return rows
+
+
+@dataclass(frozen=True)
+class ServerLoadRow:
+    """Per-server load and latency summary (§4.1-3)."""
+
+    server_id: str
+    n_requests: int
+    median_d_cdn_ms: float
+    miss_ratio: float
+
+
+def server_load_vs_latency(dataset: Dataset, min_requests: int = 20) -> List[ServerLoadRow]:
+    """Per-server request volume vs median serving latency."""
+    by_server: Dict[str, List[Tuple[float, bool]]] = {}
+    for chunk in dataset.cdn_chunks:
+        by_server.setdefault(chunk.server_id, []).append(
+            (chunk.d_cdn_ms, chunk.cache_status == "miss")
+        )
+    rows: List[ServerLoadRow] = []
+    for server_id, samples in by_server.items():
+        if len(samples) < min_requests:
+            continue
+        rows.append(
+            ServerLoadRow(
+                server_id=server_id,
+                n_requests=len(samples),
+                median_d_cdn_ms=float(np.median([s[0] for s in samples])),
+                miss_ratio=float(np.mean([s[1] for s in samples])),
+            )
+        )
+    rows.sort(key=lambda r: r.n_requests, reverse=True)
+    return rows
+
+
+def load_latency_correlation(dataset: Dataset, min_requests: int = 20) -> Optional[float]:
+    """Pearson correlation between server load and median latency.
+
+    §4.1-3's paradox: under cache-focused mapping this is *negative* —
+    busier servers hold hotter content and serve it faster.  None when
+    fewer than three servers qualify.
+    """
+    rows = server_load_vs_latency(dataset, min_requests=min_requests)
+    if len(rows) < 3:
+        return None
+    loads = np.asarray([r.n_requests for r in rows], dtype=float)
+    latencies = np.asarray([r.median_d_cdn_ms for r in rows], dtype=float)
+    if np.std(loads) == 0 or np.std(latencies) == 0:
+        return None
+    return float(np.corrcoef(loads, latencies)[0, 1])

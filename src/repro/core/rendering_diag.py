@@ -1,0 +1,227 @@
+"""Rendering-path diagnosis — §4.4: download rate, browsers, and frame drops.
+
+Implements the paper's client rendering analyses:
+
+* dropped frames vs chunk download rate, with the hardware-rendering
+  series separated (Fig. 19) and the 1.5 s/s rule-of-thumb validation
+  (the 85.5% / 5.7% / 6.9% split);
+* browser share and rendering quality per platform (Fig. 21);
+* the unpopular-browser breakdown under good conditions (Fig. 22);
+* first-chunk D_FB vs other chunks under performance-equivalent
+  conditions (Fig. 18 — §4.3-3, kept here with the other per-platform
+  client analyses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.stats import BinnedStat, binned_stats
+from ..telemetry.dataset import Dataset, JoinedChunk
+
+__all__ = [
+    "drops_vs_download_rate",
+    "hardware_rendering_drop_pct",
+    "RateRuleSplit",
+    "rate_rule_validation",
+    "BrowserRenderRow",
+    "browser_rendering_table",
+    "unpopular_browser_drops",
+    "first_chunk_equivalence_split",
+]
+
+GOOD_RATE = 1.5
+BAD_FRAMERATE_DROP = 0.30
+
+
+def drops_vs_download_rate(
+    dataset: Dataset,
+    bin_edges: Sequence[float] = (0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0),
+    include_hw: bool = False,
+) -> BinnedStat:
+    """Fig. 19: dropped-frame % binned by chunk download rate (s/s).
+
+    Hidden chunks are excluded (their drops are intentional); hardware-
+    rendered chunks are excluded by default and reported separately.
+    """
+    xs: List[float] = []
+    ys: List[float] = []
+    for chunk in dataset.player_chunks:
+        if not chunk.visible:
+            continue
+        if chunk.hw_rendered and not include_hw:
+            continue
+        rate = chunk.download_rate
+        if not np.isfinite(rate):
+            continue
+        xs.append(min(rate, bin_edges[-1] - 1e-9))
+        ys.append(100.0 * chunk.dropped_fraction)
+    return binned_stats(xs, ys, bin_edges, min_count=5)
+
+
+def hardware_rendering_drop_pct(dataset: Dataset) -> Optional[float]:
+    """Mean dropped-frame % of hardware-rendered, visible chunks (Fig. 19's
+    first bar)."""
+    drops = [
+        100.0 * chunk.dropped_fraction
+        for chunk in dataset.player_chunks
+        if chunk.visible and chunk.hw_rendered
+    ]
+    return float(np.mean(drops)) if drops else None
+
+
+@dataclass(frozen=True)
+class RateRuleSplit:
+    """Validation of the 1.5 s/s rule (§4.4-1's 85.5/5.7/6.9 split)."""
+
+    confirming_fraction: float  # rate and framerate agree with the rule
+    low_rate_good_render: float  # buffered frames hid the slow arrival
+    good_rate_bad_render: float  # CPU-bound despite fast arrival
+    n_chunks: int
+
+
+def rate_rule_validation(dataset: Dataset) -> RateRuleSplit:
+    """Classify visible, software-rendered chunks against the 1.5 s/s rule."""
+    confirming = low_good = high_bad = 0
+    total = 0
+    for chunk in dataset.player_chunks:
+        if not chunk.visible or chunk.hw_rendered:
+            continue
+        rate = chunk.download_rate
+        if not np.isfinite(rate):
+            continue
+        bad_frames = chunk.dropped_fraction > BAD_FRAMERATE_DROP
+        total += 1
+        if rate < GOOD_RATE and bad_frames:
+            confirming += 1
+        elif rate >= GOOD_RATE and not bad_frames:
+            confirming += 1
+        elif rate < GOOD_RATE and not bad_frames:
+            low_good += 1
+        else:
+            high_bad += 1
+    if total == 0:
+        return RateRuleSplit(0.0, 0.0, 0.0, 0)
+    return RateRuleSplit(
+        confirming_fraction=confirming / total,
+        low_rate_good_render=low_good / total,
+        good_rate_bad_render=high_bad / total,
+        n_chunks=total,
+    )
+
+
+@dataclass(frozen=True)
+class BrowserRenderRow:
+    """One bar pair of Fig. 21: share of chunks and mean dropped %."""
+
+    os: str
+    browser: str
+    chunk_share_pct: float  # normalized within the OS
+    mean_dropped_pct: float
+    n_chunks: int
+
+
+def browser_rendering_table(
+    dataset: Dataset, min_chunks: int = 50
+) -> List[BrowserRenderRow]:
+    """Fig. 21: per-(OS, browser) chunk share and rendering quality."""
+    platform_of = {s.session_id: (s.os, s.browser) for s in dataset.player_sessions}
+    drops: Dict[Tuple[str, str], List[float]] = {}
+    for chunk in dataset.player_chunks:
+        platform = platform_of.get(chunk.session_id)
+        if platform is None or not chunk.visible:
+            continue
+        drops.setdefault(platform, []).append(100.0 * chunk.dropped_fraction)
+
+    os_totals: Dict[str, int] = {}
+    for (os_name, _), values in drops.items():
+        os_totals[os_name] = os_totals.get(os_name, 0) + len(values)
+
+    rows: List[BrowserRenderRow] = []
+    for (os_name, browser), values in drops.items():
+        if len(values) < min_chunks:
+            continue
+        rows.append(
+            BrowserRenderRow(
+                os=os_name,
+                browser=browser,
+                chunk_share_pct=100.0 * len(values) / os_totals[os_name],
+                mean_dropped_pct=float(np.mean(values)),
+                n_chunks=len(values),
+            )
+        )
+    rows.sort(key=lambda r: (r.os, -r.chunk_share_pct))
+    return rows
+
+
+def unpopular_browser_drops(
+    dataset: Dataset,
+    browsers: Sequence[str] = ("Yandex", "Vivaldi", "Opera", "Safari", "SeaMonkey"),
+    os_name: str = "Windows",
+    min_chunks: int = 30,
+) -> Tuple[List[Tuple[str, float]], float]:
+    """Fig. 22: drops of unpopular (browser, Windows) combos vs everyone else.
+
+    Restricted, as in the paper, to chunks with good performance
+    (rate >= 1.5 s/s) that are visible.  Returns ([(browser, mean %)],
+    mean % of the rest).
+    """
+    platform_of = {s.session_id: (s.os, s.browser) for s in dataset.player_sessions}
+    targets = {(os_name, b) for b in browsers}
+    per_target: Dict[str, List[float]] = {}
+    rest: List[float] = []
+    for chunk in dataset.player_chunks:
+        if not chunk.visible or chunk.download_rate < GOOD_RATE:
+            continue
+        platform = platform_of.get(chunk.session_id)
+        if platform is None:
+            continue
+        drop_pct = 100.0 * chunk.dropped_fraction
+        if platform in targets:
+            per_target.setdefault(platform[1], []).append(drop_pct)
+        else:
+            rest.append(drop_pct)
+    rows = [
+        (browser, float(np.mean(values)))
+        for browser, values in per_target.items()
+        if len(values) >= min_chunks
+    ]
+    rows.sort(key=lambda r: r[1], reverse=True)
+    rest_mean = float(np.mean(rest)) if rest else 0.0
+    return rows, rest_mean
+
+
+def first_chunk_equivalence_split(
+    dataset: Dataset,
+    srtt_band_ms: Tuple[float, float] = (60.0, 65.0),
+    max_d_cdn_ms: float = 5.0,
+    initial_window: int = 10,
+) -> Tuple[List[float], List[float]]:
+    """Fig. 18: D_FB of first vs other chunks in equivalent conditions.
+
+    The paper's equivalence filter: no packet loss in the chunk,
+    CWND > IW, similar SRTT (a narrow band), low server latency, cache
+    hit.  What remains is the download stack's first-chunk setup cost.
+    Returns (first-chunk D_FBs, other-chunk D_FBs).
+    """
+    first: List[float] = []
+    other: List[float] = []
+    for session in dataset.sessions():
+        for (chunk_id, retx), chunk in zip(session.chunk_retx_counts(), session.chunks):
+            if retx > 0:
+                continue
+            last = chunk.last_tcp
+            if last is None or last.cwnd_segments <= initial_window:
+                continue
+            if not chunk.srtt_samples:
+                continue
+            srtt = chunk.srtt_samples[0]
+            if not srtt_band_ms[0] <= srtt <= srtt_band_ms[1]:
+                continue
+            if chunk.cdn.d_cdn_ms >= max_d_cdn_ms or not chunk.cdn.is_hit:
+                continue
+            (first if chunk_id == 0 else other).append(chunk.player.dfb_ms)
+    return first, other

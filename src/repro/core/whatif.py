@@ -1,0 +1,147 @@
+"""Counterfactual estimators: what would the paper's fixes buy?
+
+The paper closes each section with recommendations (pre-fetch and warm
+caches, fix the download stack, improve peering).  This module estimates
+the headroom of each fix directly from collected telemetry, per session,
+by surgically replacing the offending latency component and re-deriving
+the QoE metric:
+
+* **perfect caching** — replace every first-chunk miss/disk latency with
+  the fleet's RAM-hit latency and measure the startup-delay headroom
+  (§4.1's pre-fetch/warm take-aways);
+* **no download-stack latency** — subtract the Eq. 5 bound from D_FB and
+  measure the first-byte headroom (§4.3's client-side fixes);
+
+These are *upper bounds on the direct effect* — second-order effects (ABR
+choosing differently on a faster path) need re-simulation, which
+``repro.simulation`` provides for the closed loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..telemetry.dataset import Dataset
+from .downstack import persistent_ds_bound_ms
+
+__all__ = ["WhatIfReport", "perfect_caching_headroom", "no_downloadstack_headroom"]
+
+
+@dataclass(frozen=True)
+class WhatIfReport:
+    """Headroom of one counterfactual fix."""
+
+    fix: str
+    metric: str
+    current_median_ms: float
+    counterfactual_median_ms: float
+    affected_session_fraction: float
+    n_sessions: int
+
+    @property
+    def median_improvement_ms(self) -> float:
+        return self.current_median_ms - self.counterfactual_median_ms
+
+    @property
+    def relative_improvement(self) -> float:
+        if self.current_median_ms <= 0:
+            return 0.0
+        return self.median_improvement_ms / self.current_median_ms
+
+    def __str__(self) -> str:
+        return (
+            f"{self.fix}: median {self.metric} "
+            f"{self.current_median_ms:.0f} -> {self.counterfactual_median_ms:.0f} ms "
+            f"({self.relative_improvement:+.1%}, "
+            f"{100 * self.affected_session_fraction:.1f}% of sessions affected)"
+        )
+
+
+def perfect_caching_headroom(dataset: Dataset) -> Optional[WhatIfReport]:
+    """Startup-delay headroom if every first chunk were a RAM hit.
+
+    Replaces each session's first-chunk server latency (D_CDN + D_BE)
+    with the fleet's median RAM-hit latency.
+    """
+    ram_hit_latencies = [
+        c.total_server_ms for c in dataset.cdn_chunks if c.cache_status == "hit_ram"
+    ]
+    if not ram_hit_latencies:
+        return None
+    ideal_server_ms = float(np.median(ram_hit_latencies))
+
+    current: List[float] = []
+    counterfactual: List[float] = []
+    affected = 0
+    for session in dataset.sessions():
+        if not session.chunks or session.chunks[0].chunk_id != 0:
+            continue
+        startup = session.startup_delay_ms
+        if startup is None:
+            continue
+        first = session.chunks[0]
+        saving = max(0.0, first.cdn.total_server_ms - ideal_server_ms)
+        current.append(startup)
+        counterfactual.append(startup - saving)
+        if first.cdn.cache_status != "hit_ram":
+            affected += 1
+    if not current:
+        return None
+    return WhatIfReport(
+        fix="perfect-first-chunk-caching",
+        metric="startup",
+        current_median_ms=float(np.median(current)),
+        counterfactual_median_ms=float(np.median(counterfactual)),
+        affected_session_fraction=affected / len(current),
+        n_sessions=len(current),
+    )
+
+
+def no_downloadstack_headroom(dataset: Dataset) -> Optional[WhatIfReport]:
+    """First-byte-delay headroom if the download stack added zero latency.
+
+    Subtracts the (conservative, so this *under*-states the win) Eq. 5
+    bound from every chunk's D_FB and compares the medians.
+    """
+    current: List[float] = []
+    counterfactual: List[float] = []
+    sessions_affected = 0
+    n_sessions = 0
+    for session in dataset.sessions():
+        if not session.chunks:
+            continue
+        n_sessions += 1
+        session_affected = False
+        for chunk in session.chunks:
+            bound = persistent_ds_bound_ms(chunk)
+            dfb = chunk.player.dfb_ms
+            current.append(dfb)
+            if bound is None or bound <= 0:
+                counterfactual.append(dfb)
+            else:
+                counterfactual.append(max(dfb - bound, 1.0))
+                session_affected = True
+        sessions_affected += session_affected
+    if not current:
+        return None
+    return WhatIfReport(
+        fix="no-download-stack-latency",
+        metric="first-byte delay",
+        current_median_ms=float(np.median(current)),
+        counterfactual_median_ms=float(np.median(counterfactual)),
+        affected_session_fraction=sessions_affected / max(n_sessions, 1),
+        n_sessions=n_sessions,
+    )
+
+
+def all_headrooms(dataset: Dataset) -> Dict[str, WhatIfReport]:
+    """Every available counterfactual, keyed by fix name."""
+    reports = {}
+    for builder in (perfect_caching_headroom, no_downloadstack_headroom):
+        report = builder(dataset)
+        if report is not None:
+            reports[report.fix] = report
+    return reports

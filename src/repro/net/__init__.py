@@ -1,0 +1,17 @@
+"""Network substrate: wide-area paths, TCP model, prefix utilities."""
+
+from .path import NetworkPath, build_session_path
+from .prefix import group_by_prefix, is_valid_ipv4, prefix_of
+from .tcp import DEFAULT_MSS, ChunkTransfer, TcpConnection, TcpStateSample
+
+__all__ = [
+    "NetworkPath",
+    "build_session_path",
+    "prefix_of",
+    "group_by_prefix",
+    "is_valid_ipv4",
+    "TcpConnection",
+    "TcpStateSample",
+    "ChunkTransfer",
+    "DEFAULT_MSS",
+]

@@ -1,0 +1,221 @@
+"""Wide-area network path model for one video session.
+
+A :class:`NetworkPath` is instantiated per session from the client's prefix
+(stable properties: geography, access latency, enterprise path inflation,
+jitter shape) and the chosen CDN PoP.  It produces:
+
+* time-varying round-trip samples — a baseline plus *congestion episodes*,
+  a two-state regime process.  Episodes are what make CV(SRTT) exceed 1 for
+  enterprise sessions (Table 4): smooth i.i.d. jitter would be averaged
+  away by TCP's EWMA, but multi-second latency excursions survive it.
+* a bottleneck bandwidth (min of access link and path capacity) used by the
+  TCP model for self-loading/queueing and buffer-overflow loss.
+* a random per-segment loss rate (§4.2-3: ~40% of sessions see no loss at
+  all; the rest mostly < 10% retransmission rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..workload.clients import Prefix
+from ..workload.geo import GeoPoint, distance_km, propagation_rtt_ms
+
+__all__ = ["NetworkPath", "build_session_path"]
+
+
+@dataclass
+class NetworkPath:
+    """Time-varying path between one client and one CDN server."""
+
+    base_rtt_ms: float
+    bottleneck_kbps: float
+    loss_rate: float
+    jitter_sigma: float
+    rng: np.random.Generator = field(repr=False)
+    #: mean time between congestion-episode onsets (ms)
+    episode_gap_mean_ms: float = 120_000.0
+    #: mean episode duration (ms)
+    episode_duration_mean_ms: float = 6_000.0
+    #: network buffer at the bottleneck, as a multiple of the BDP
+    buffer_bdp_multiple: float = 1.5
+    #: probability that an episode is a *throughput collapse* — severe
+    #: cross-traffic or access-link trouble that crushes the available
+    #: bandwidth for seconds (the rebuffering-producing events)
+    collapse_probability: float = 0.15
+
+    _episode_until_ms: float = field(default=-1.0, init=False, repr=False)
+    _episode_rtt_mult: float = field(default=1.0, init=False, repr=False)
+    _episode_bw_div: float = field(default=1.0, init=False, repr=False)
+    _next_episode_ms: float = field(default=0.0, init=False, repr=False)
+    _episodes_initialized: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.base_rtt_ms <= 0:
+            raise ValueError("base_rtt_ms must be positive")
+        if self.bottleneck_kbps <= 0:
+            raise ValueError("bottleneck_kbps must be positive")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+
+    # -- congestion-episode regime process ---------------------------------
+
+    def _advance_episodes(self, now_ms: float) -> None:
+        """Advance the two-state (normal/congested) regime to *now_ms*."""
+        if not self._episodes_initialized:
+            self._next_episode_ms = float(
+                self.rng.exponential(self.episode_gap_mean_ms)
+            )
+            self._episodes_initialized = True
+        while now_ms >= self._next_episode_ms:
+            onset = self._next_episode_ms
+            duration = float(self.rng.exponential(self.episode_duration_mean_ms))
+            kind = self.rng.random()
+            if kind < self.collapse_probability:
+                # Throughput collapse: bandwidth craters for a long, heavy-
+                # tailed interval — the events behind deep stalls.  A
+                # collapse outlasting the playback buffer is what turns
+                # into rebuffering at the player.
+                rtt_mult = float(self.rng.uniform(1.5, 3.0))
+                bw_div = float(self.rng.uniform(10.0, 80.0))
+                duration = float(self.rng.lognormal(np.log(15_000.0) - 0.5, 1.0))
+            elif kind < self.collapse_probability + 0.30:
+                # Microburst: a short, violent latency spike (a colleague's
+                # upload filling the VPN queue, a wifi retrain).  Brief
+                # coverage with a huge multiplier is precisely what pushes
+                # a session's CV(SRTT) past 1 — the Table 4 signature.
+                rtt_mult = 1.0 + float(self.rng.uniform(8.0, 40.0)) * self.jitter_sigma
+                bw_div = 2.0
+                duration = float(self.rng.uniform(1_000.0, 4_000.0))
+            else:
+                # Ordinary congestion / bufferbloat: a standing queue adds
+                # large latency but the bottleneck still drains at line
+                # rate, so bandwidth is only mildly reduced.  Magnitude
+                # scales with the prefix's jitter shape (residential sigma
+                # ~0.1 -> mild ~1.5x; enterprise ~0.8 -> 5-30x hairpin/VPN
+                # spikes, the Table 4 signature).
+                extra = float(self.rng.exponential(8.0 * self.jitter_sigma))
+                rtt_mult = 1.0 + extra
+                bw_div = min(rtt_mult, 2.0)
+            if onset + duration > now_ms:
+                self._episode_until_ms = onset + duration
+                self._episode_rtt_mult = rtt_mult
+                self._episode_bw_div = bw_div
+            self._next_episode_ms = onset + duration + float(
+                self.rng.exponential(self.episode_gap_mean_ms)
+            )
+
+    def _episode_state(self, now_ms: float) -> "tuple[float, float]":
+        """(rtt multiplier, bandwidth divisor) in effect at *now_ms*."""
+        self._advance_episodes(now_ms)
+        if now_ms < self._episode_until_ms:
+            return self._episode_rtt_mult, self._episode_bw_div
+        return 1.0, 1.0
+
+    def congestion_multiplier(self, now_ms: float) -> float:
+        """Current latency inflation from the episode process (>= 1)."""
+        return self._episode_state(now_ms)[0]
+
+    def current_bottleneck_kbps(self, now_ms: float) -> float:
+        """Bandwidth available to us at *now_ms*.
+
+        During a congestion episode the bottleneck queue is shared with
+        cross traffic, so our share of the link shrinks.
+        """
+        return self.bottleneck_kbps / self._episode_state(now_ms)[1]
+
+    def episode_loss_boost(self, now_ms: float) -> float:
+        """Extra per-segment loss probability during congestion episodes.
+
+        Collapses (large bandwidth divisors) drop aggressively; bufferbloat
+        episodes (latency-dominant) drop only occasionally off a full queue.
+        """
+        rtt_mult, bw_div = self._episode_state(now_ms)
+        boost = 0.0
+        if bw_div > 1.0:
+            boost += 0.012 * (bw_div - 1.0)
+        if rtt_mult > 1.0:
+            boost += 0.003 * min(rtt_mult - 1.0, 5.0)
+        return min(0.06, boost)
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample_rtt(self, now_ms: float) -> float:
+        """One propagation+queueing round-trip sample at absolute time *now_ms*.
+
+        Does not include self-induced queueing from our own TCP transfer —
+        the TCP model adds that on top (self-loading, §4.2-1's caveat about
+        SRTT samples reflecting queueing delay).
+        """
+        multiplier = self.congestion_multiplier(now_ms)
+        noise = float(self.rng.lognormal(0.0, 0.08))  # small measurement noise
+        return self.base_rtt_ms * multiplier * noise
+
+    @property
+    def bdp_bytes(self) -> float:
+        """Bandwidth-delay product of the baseline path, in bytes."""
+        return self.bottleneck_kbps * self.base_rtt_ms / 8.0
+
+    @property
+    def buffer_bytes(self) -> float:
+        """Bottleneck queue size in bytes (BDP multiple)."""
+        return self.buffer_bdp_multiple * self.bdp_bytes
+
+    def segment_loss_probability(self, inflight_bytes: float, now_ms: float = 0.0) -> float:
+        """Per-segment loss probability given current bytes in flight.
+
+        Random loss, plus episode loss (shared queue under pressure), plus
+        congestion loss: once the window overruns the bottleneck buffer,
+        the tail of each burst is dropped — this is the slow-start
+        overshoot that concentrates losses in the first chunk (Fig. 15).
+        """
+        base = self.loss_rate + self.episode_loss_boost(now_ms)
+        capacity = self.bdp_bytes + self.buffer_bytes
+        if inflight_bytes <= capacity:
+            return min(0.9, base)
+        overflow_fraction = (inflight_bytes - capacity) / max(inflight_bytes, 1.0)
+        return min(0.9, base + overflow_fraction)
+
+
+def build_session_path(
+    prefix: Prefix,
+    server_location: GeoPoint,
+    bandwidth_kbps: float,
+    rng: np.random.Generator,
+    backbone_kbps: float = 1_000_000.0,
+) -> NetworkPath:
+    """Construct the session's path from prefix properties and server location."""
+    dist = distance_km(prefix.geo, server_location)
+    base_rtt = (
+        propagation_rtt_ms(dist)
+        + prefix.access_rtt_ms
+        + prefix.path_inflation_ms
+    )
+    # A large share of sessions sees no random loss at all (§4.2-3: 40% of
+    # sessions have zero retransmissions — some of the remainder's retx
+    # come from self-induced overflow, so the random-loss share is lower).
+    if rng.random() < 0.60:
+        loss = 0.0
+    else:
+        loss = float(
+            np.clip(rng.exponential(max(prefix.loss_rate_mean, 1e-5)), 0.0, 0.15)
+        )
+    bottleneck = max(500.0, min(bandwidth_kbps, backbone_kbps))
+    # Enterprise episodes are more frequent as well as larger.
+    gap_mean = 25_000.0 if prefix.is_enterprise else 150_000.0
+    duration_mean = 15_000.0 if prefix.is_enterprise else 4_000.0
+    # Bottleneck buffers vary from shallow (overflow-prone) to bloated.
+    buffer_multiple = float(rng.uniform(1.5, 4.0))
+    return NetworkPath(
+        base_rtt_ms=base_rtt,
+        bottleneck_kbps=bottleneck,
+        loss_rate=loss,
+        jitter_sigma=prefix.jitter_sigma,
+        rng=rng,
+        episode_gap_mean_ms=gap_mean,
+        episode_duration_mean_ms=duration_mean,
+        buffer_bdp_multiple=buffer_multiple,
+    )

@@ -1,0 +1,41 @@
+"""IP prefix utilities for the /24 aggregation used throughout §4.2.
+
+The analysis side never sees the simulator's :class:`~repro.workload.clients.Prefix`
+objects — like the paper, it only sees client IP addresses in the beacons
+and derives /24 prefixes from them.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["prefix_of", "group_by_prefix", "is_valid_ipv4"]
+
+
+def is_valid_ipv4(ip: str) -> bool:
+    """True if *ip* parses as an IPv4 address."""
+    try:
+        ipaddress.IPv4Address(ip)
+        return True
+    except (ipaddress.AddressValueError, ValueError):
+        return False
+
+
+def prefix_of(ip: str) -> str:
+    """Return the /24 prefix of an IPv4 address, e.g. ``10.1.2.3`` -> ``10.1.2.0/24``.
+
+    Raises :class:`ValueError` for non-IPv4 input; callers filtering beacons
+    should validate with :func:`is_valid_ipv4` first.
+    """
+    address = ipaddress.IPv4Address(ip)  # raises ValueError on bad input
+    network = ipaddress.IPv4Network((int(address) & ~0xFF, 24))
+    return str(network)
+
+
+def group_by_prefix(items: Iterable[Tuple[str, object]]) -> Dict[str, List[object]]:
+    """Group (client_ip, payload) pairs by the IP's /24 prefix."""
+    groups: Dict[str, List[object]] = {}
+    for ip, payload in items:
+        groups.setdefault(prefix_of(ip), []).append(payload)
+    return groups

@@ -1,0 +1,254 @@
+"""Round-based TCP sender model with kernel-style state variables.
+
+The paper's server-side network view is the Linux ``tcp_info`` struct,
+snapshotted every 500 ms: SRTT, RTT variance, congestion window, and
+retransmission counters (§2.1).  This module models a TCP Reno-style sender
+at *round* granularity — one window of segments per round trip — which is
+the right fidelity for chunk-level analysis:
+
+* slow start doubles the window each round until loss or ``ssthresh``;
+  congestion avoidance adds one segment per round;
+* losses are sampled per segment from the path model, which combines a
+  random component with buffer-overflow loss when the window overruns the
+  bottleneck (this produces the slow-start burst losses that concentrate
+  retransmissions in a session's first chunk, Fig. 15);
+* SRTT/RTTVAR follow RFC 6298 exactly, and the retransmission timeout uses
+  the paper's footnote formula ``RTO = 200 ms + srtt + 4 * srttvar``;
+* self-loading: the serialization time of each window at the bottleneck is
+  added to the measured round-trip sample, so SRTT inflates when the
+  window exceeds the BDP (§4.2-1's caveat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .path import NetworkPath
+
+__all__ = ["TcpStateSample", "ChunkTransfer", "TcpConnection", "DEFAULT_MSS"]
+
+DEFAULT_MSS = 1460
+#: Linux's minimum RTO contribution used in the paper's Eq. 5 bound.
+RTO_FLOOR_MS = 200.0
+#: Safety cap on the congestion window (segments): ~6 MB of in-flight data.
+MAX_CWND_SEGMENTS = 4096
+
+
+@dataclass(frozen=True)
+class TcpStateSample:
+    """One snapshot of the sender's ``tcp_info``-visible state."""
+
+    t_ms: float
+    cwnd_segments: int
+    srtt_ms: float
+    rttvar_ms: float
+    retx_total: int
+    mss: int
+
+    @property
+    def throughput_kbps(self) -> float:
+        """Eq. 3: the connection's throughput estimate MSS * CWND / SRTT."""
+        if self.srtt_ms <= 0:
+            return 0.0
+        return self.cwnd_segments * self.mss * 8.0 / self.srtt_ms
+
+
+@dataclass
+class ChunkTransfer:
+    """Outcome of transferring one chunk's bytes over the connection."""
+
+    duration_ms: float
+    segments_sent: int  # includes retransmissions
+    segments_retx: int
+    rounds: int
+    min_rtt_ms: float
+    samples: List[TcpStateSample] = field(default_factory=list)
+
+    @property
+    def retx_rate(self) -> float:
+        """Retransmission rate: retransmitted / all segments sent."""
+        if self.segments_sent == 0:
+            return 0.0
+        return self.segments_retx / self.segments_sent
+
+
+class TcpConnection:
+    """A persistent TCP connection carrying all chunks of one session."""
+
+    def __init__(
+        self,
+        path: NetworkPath,
+        rng: np.random.Generator,
+        mss: int = DEFAULT_MSS,
+        initial_cwnd: int = 10,
+        initial_ssthresh: int = 512,
+        snapshot_interval_ms: float = 500.0,
+        restart_after_idle: bool = False,
+        slow_start_growth: float = 2.0,
+        max_window_segments: int = MAX_CWND_SEGMENTS,
+    ) -> None:
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        if initial_cwnd <= 0:
+            raise ValueError("initial_cwnd must be positive")
+        if slow_start_growth <= 1.0:
+            raise ValueError("slow_start_growth must exceed 1.0")
+        if max_window_segments <= 0:
+            raise ValueError("max_window_segments must be positive")
+        self.path = path
+        self.rng = rng
+        self.mss = mss
+        self.initial_cwnd = initial_cwnd
+        self.cwnd = float(initial_cwnd)
+        self.ssthresh = float(initial_ssthresh)
+        self.srtt_ms: Optional[float] = None
+        self.rttvar_ms: float = 0.0
+        self.retx_total = 0
+        self.segments_sent_total = 0
+        self.bytes_acked_total = 0
+        self.snapshot_interval_ms = snapshot_interval_ms
+        self.restart_after_idle = restart_after_idle
+        #: window growth factor per loss-free slow-start round; 2.0 is
+        #: standard TCP, lower values model server-side pacing [19]
+        self.slow_start_growth = slow_start_growth
+        #: receiver-window cap on in-flight segments: sessions whose peers
+        #: advertise modest windows never overrun the path and see no loss
+        self.max_window_segments = min(max_window_segments, MAX_CWND_SEGMENTS)
+        self._next_snapshot_ms: Optional[float] = None
+        self._last_send_ms: Optional[float] = None
+
+    # -- RFC 6298 estimator --------------------------------------------------
+
+    def observe_rtt(self, sample_ms: float, n_acks: int = 1) -> None:
+        """Feed round-trip measurements into the SRTT/RTTVAR estimator.
+
+        The kernel updates its estimator once per ACK, and a round carries
+        roughly one ACK per segment in flight — so a single round moves
+        SRTT most of the way to the new value.  *n_acks* replays the RFC
+        6298 update that many times (capped: convergence saturates).
+        """
+        if sample_ms <= 0:
+            raise ValueError("rtt sample must be positive")
+        if n_acks <= 0:
+            raise ValueError("n_acks must be positive")
+        if self.srtt_ms is None:
+            self.srtt_ms = sample_ms
+            self.rttvar_ms = sample_ms / 2.0
+            return
+        for _ in range(min(n_acks, 16)):
+            self.rttvar_ms = 0.75 * self.rttvar_ms + 0.25 * abs(self.srtt_ms - sample_ms)
+            self.srtt_ms = 0.875 * self.srtt_ms + 0.125 * sample_ms
+
+    @property
+    def rto_ms(self) -> float:
+        """Retransmission timeout, per the paper's footnote 5 (RFC 2988 style)."""
+        if self.srtt_ms is None:
+            return 1000.0  # RFC 6298 initial RTO
+        return RTO_FLOOR_MS + self.srtt_ms + 4.0 * self.rttvar_ms
+
+    # -- snapshots -------------------------------------------------------------
+
+    def state_sample(self, t_ms: float) -> TcpStateSample:
+        """Materialize the current kernel-visible state at time *t_ms*."""
+        return TcpStateSample(
+            t_ms=t_ms,
+            cwnd_segments=int(self.cwnd),
+            srtt_ms=self.srtt_ms if self.srtt_ms is not None else 0.0,
+            rttvar_ms=self.rttvar_ms,
+            retx_total=self.retx_total,
+            mss=self.mss,
+        )
+
+    def _maybe_snapshot(self, t_ms: float, out: List[TcpStateSample]) -> None:
+        """Emit periodic snapshots at the 500 ms sampling grid (§2.1)."""
+        while self._next_snapshot_ms is not None and t_ms >= self._next_snapshot_ms:
+            out.append(self.state_sample(self._next_snapshot_ms))
+            self._next_snapshot_ms += self.snapshot_interval_ms
+
+    # -- data transfer -----------------------------------------------------------
+
+    def transfer(self, nbytes: int, now_ms: float) -> ChunkTransfer:
+        """Deliver *nbytes* starting at *now_ms*; return timing and TCP stats.
+
+        The returned duration is the time from the first data segment being
+        sent to the last byte arriving at the receiver.
+        """
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        if self.restart_after_idle and self._last_send_ms is not None:
+            if now_ms - self._last_send_ms > self.rto_ms:
+                self.cwnd = float(self.initial_cwnd)
+        # The 500 ms sampler runs on the connection's own clock; after an
+        # idle gap the grid realigns rather than emitting stale samples.
+        if self._next_snapshot_ms is None or now_ms > self._next_snapshot_ms:
+            self._next_snapshot_ms = now_ms + self.snapshot_interval_ms
+
+        remaining = int(np.ceil(nbytes / self.mss))
+        t = now_ms
+        samples: List[TcpStateSample] = []
+        sent = 0
+        retx = 0
+        rounds = 0
+        min_rtt = float("inf")
+
+        while remaining > 0:
+            rounds += 1
+            inflight = min(int(self.cwnd), self.max_window_segments, remaining)
+            inflight = max(inflight, 1)
+            inflight_bytes = inflight * self.mss
+            base_rtt = self.path.sample_rtt(t)
+            min_rtt = min(min_rtt, base_rtt)
+            # Self-loading: serializing the window at the bottleneck adds
+            # queueing delay that the kernel's RTT samples *do* see.
+            serialization_ms = inflight_bytes * 8.0 / self.path.current_bottleneck_kbps(t)
+            observed_rtt = base_rtt + serialization_ms
+            round_time = observed_rtt
+
+            loss_p = self.path.segment_loss_probability(float(inflight_bytes), t)
+            losses = int(self.rng.binomial(inflight, loss_p)) if loss_p > 0 else 0
+            sent += inflight + losses
+            if losses > 0:
+                retx += losses
+                self.retx_total += losses
+                # Losing a large share of the window (bursty overflow, or a
+                # tiny window losing its few segments) defeats fast
+                # retransmit -> retransmission timeout.
+                severe = losses >= max(1, int(0.5 * inflight))
+                if severe:
+                    round_time += self.rto_ms
+                    self.ssthresh = max(self.cwnd / 2.0, 2.0)
+                    self.cwnd = max(float(self.initial_cwnd) / 2.0, 2.0)
+                else:
+                    # Fast retransmit / fast recovery: one extra round,
+                    # window halves.
+                    round_time += self.path.sample_rtt(t + observed_rtt)
+                    self.ssthresh = max(inflight / 2.0, 2.0)
+                    self.cwnd = self.ssthresh
+            else:
+                if self.cwnd < self.ssthresh:
+                    self.cwnd = min(
+                        self.cwnd * self.slow_start_growth, float(MAX_CWND_SEGMENTS)
+                    )
+                else:
+                    self.cwnd = min(self.cwnd + 1.0, float(MAX_CWND_SEGMENTS))
+
+            self.observe_rtt(observed_rtt, n_acks=inflight)
+            remaining -= inflight  # lost segments are recovered within the round
+            self.bytes_acked_total += inflight_bytes
+            t += round_time
+            self._maybe_snapshot(t, samples)
+
+        self.segments_sent_total += sent
+        self._last_send_ms = t
+        duration = t - now_ms
+        return ChunkTransfer(
+            duration_ms=duration,
+            segments_sent=sent,
+            segments_retx=retx,
+            rounds=rounds,
+            min_rtt_ms=min_rtt,
+            samples=samples,
+        )

@@ -1,0 +1,22 @@
+"""Discrete-event simulation of the full video delivery path."""
+
+from .config import SimulationConfig
+from .controlled import ControlledRenderingResult, run_controlled_rendering_experiment
+from .driver import SimulationResult, Simulator, simulate
+from .engine import EventLoop
+from .scenarios import SCENARIOS, ScenarioOutcome, run_scenario
+from .session import SessionActor
+
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+    "EventLoop",
+    "SessionActor",
+    "ControlledRenderingResult",
+    "run_controlled_rendering_experiment",
+    "SCENARIOS",
+    "ScenarioOutcome",
+    "run_scenario",
+]

@@ -1,0 +1,86 @@
+"""Top-level simulation configuration.
+
+One :class:`SimulationConfig` fully determines a simulated trace: the
+catalog, client population, CDN deployment, server tuning, player policy,
+and the operational extensions the paper proposes (pre-fetching,
+first-chunk warming, popularity partitioning, server pacing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..cdn.server import CdnServerConfig
+from ..workload.catalog import DEFAULT_BITRATE_LADDER_KBPS
+from ..workload.clients import PopulationConfig
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass
+class SimulationConfig:
+    """All knobs for one simulated collection period."""
+
+    n_sessions: int = 2000
+    #: sessions simulated before the measured window, telemetry discarded,
+    #: to bring the CDN caches to steady state (the paper measures a
+    #: long-running production system, not a cold fleet)
+    warmup_sessions: int = 0
+    seed: int = 7
+
+    # -- workload -----------------------------------------------------------
+    #: active catalog size.  The paper's full catalog is huge, but its
+    #: *daily working set* (news clips) is small and request reuse is high;
+    #: at simulation scale a compact active catalog is what reproduces the
+    #: production cache-hit regime.  Popularity-only analyses (Fig. 3) use
+    #: a full-size catalog directly via ``repro.workload.generate_catalog``.
+    n_videos: int = 150
+    zipf_alpha: float = 0.9
+    bitrate_ladder_kbps: Tuple[int, ...] = DEFAULT_BITRATE_LADDER_KBPS
+    arrival_rate_per_s: float = 30.0
+    population: PopulationConfig = field(default_factory=PopulationConfig)
+
+    # -- CDN ---------------------------------------------------------------
+    n_servers: int = 85
+    server: CdnServerConfig = field(default_factory=CdnServerConfig)
+    mapping_strategy: str = "cache-focused"
+    #: §4.1-2 extension: after a session's first miss, prefetch its
+    #: subsequent chunks into the serving server's cache
+    prefetch_after_miss: bool = False
+    #: how many chunks ahead to prefetch when the extension is on
+    prefetch_depth: int = 3
+    #: §4.1-2 / §4.3-3 extension: pre-warm every server with the first
+    #: chunk of each title it is responsible for
+    warm_first_chunks: bool = False
+
+    # -- player ---------------------------------------------------------------
+    abr_name: str = "rate"
+    abr_screen_outliers: bool = False
+    max_buffer_ms: float = 18_000.0
+
+    # -- network ---------------------------------------------------------------
+    #: initial congestion window (segments); the pacing ablation (§4.2-3
+    #: take-away) reduces slow-start burstiness by capping growth
+    tcp_initial_cwnd: int = 10
+    #: cap the slow-start doubling (paced server ≈ gentler ramp)
+    tcp_paced: bool = False
+
+    # -- telemetry ---------------------------------------------------------------
+    record_ground_truth: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_sessions <= 0:
+            raise ValueError("n_sessions must be positive")
+        if self.n_videos <= 0:
+            raise ValueError("n_videos must be positive")
+        if self.n_servers <= 0:
+            raise ValueError("n_servers must be positive")
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be non-negative")
+        if self.max_buffer_ms <= 0:
+            raise ValueError("max_buffer_ms must be positive")
+
+    def with_overrides(self, **kwargs) -> "SimulationConfig":
+        """A copy with the given fields replaced (convenience for sweeps)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,93 @@
+"""The paper's controlled rendering experiment (Fig. 20).
+
+§4.4-1: "our player is running in Firefox browser on OS X with 8 CPU
+cores, connected to the server using a 1 GigE Ethernet, streaming a sample
+video with 10 chunks.  The first bar represents the per-chunk dropped rate
+while using GPU.  Next, we turned off hardware rendering to force rendering
+by CPU; at each iteration, we loaded one more CPU core."
+
+This module reproduces that lab setup on the simulator's rendering model:
+the network is so fast (GigE LAN) that the download rate is never the
+bottleneck, isolating the CPU-load effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..client.browsers import get_profile
+from ..client.rendering import RenderingModel
+from ..workload.catalog import CHUNK_DURATION_MS
+from ..workload.randomness import spawn
+
+__all__ = ["ControlledRenderingResult", "run_controlled_rendering_experiment"]
+
+
+@dataclass(frozen=True)
+class ControlledRenderingResult:
+    """Dropped-frame percentages per CPU-load level (Fig. 20's bars)."""
+
+    #: x-axis labels: "GPU" then "<=100%", "200%", ... (loaded cores x 100)
+    labels: Tuple[str, ...]
+    #: mean per-chunk dropped-frame percentage per level
+    dropped_pct: Tuple[float, ...]
+    n_chunks_per_level: int
+
+
+def run_controlled_rendering_experiment(
+    n_cores: int = 8,
+    n_chunks: int = 10,
+    n_trials: int = 30,
+    seed: int = 0,
+) -> ControlledRenderingResult:
+    """Replay the Fig. 20 lab experiment; returns per-load drop percentages.
+
+    Level 0 uses hardware (GPU) rendering; level k (k >= 1) uses software
+    rendering with k cores fully loaded by background work.
+    """
+    if n_cores <= 0:
+        raise ValueError("n_cores must be positive")
+    if n_chunks <= 0 or n_trials <= 0:
+        raise ValueError("n_chunks and n_trials must be positive")
+    rng = spawn(seed, "controlled-rendering")
+    platform = get_profile("Mac", "Firefox")
+    # GigE LAN: a 6 s chunk at 3 Mbps downloads in ~18 ms -> rate >> 1.5 s/s.
+    lan_download_rate = 300.0
+
+    labels: List[str] = ["GPU"]
+    dropped: List[float] = []
+
+    def mean_drop(gpu: bool, loaded_cores: int) -> float:
+        samples: List[float] = []
+        for _ in range(n_trials):
+            model = RenderingModel(
+                platform=platform,
+                gpu=gpu,
+                cpu_cores=n_cores,
+                cpu_background_load=loaded_cores / n_cores,
+                rng=rng,
+            )
+            for _ in range(n_chunks):
+                result = model.render_chunk(
+                    download_rate=lan_download_rate,
+                    visible=True,
+                    bitrate_kbps=3000.0,
+                    buffer_level_ms=0.0,
+                    chunk_duration_ms=CHUNK_DURATION_MS,
+                )
+                samples.append(result.dropped_fraction * 100.0)
+        return float(np.mean(samples))
+
+    dropped.append(mean_drop(gpu=True, loaded_cores=0))
+    for loaded in range(0, n_cores + 1):
+        labels.append(f"{max(loaded, 1) * 100}%" if loaded else "<10%")
+        dropped.append(mean_drop(gpu=False, loaded_cores=loaded))
+
+    return ControlledRenderingResult(
+        labels=tuple(labels),
+        dropped_pct=tuple(dropped),
+        n_chunks_per_level=n_chunks * n_trials,
+    )

@@ -1,0 +1,260 @@
+"""Top-level simulation driver: config → telemetry dataset.
+
+Builds the world (catalog, client population, CDN deployment, servers),
+generates session plans, and runs them through the event loop.  The output
+is a :class:`~repro.telemetry.dataset.Dataset` — the same shape the paper's
+joined production beacons/logs would have — which the analysis pipeline in
+:mod:`repro.core` consumes without any knowledge of the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..cdn.mapping import TrafficEngineering
+from ..cdn.pop import Deployment, build_default_deployment
+from ..cdn.server import CdnServer
+from ..client.abr import make_abr
+from ..telemetry.collector import TelemetryCollector
+from ..telemetry.dataset import Dataset
+from ..workload.catalog import Catalog, generate_catalog
+from ..workload.clients import ClientPopulation, generate_population
+from ..workload.sessions import SessionGenerator, SessionPlan
+from .config import SimulationConfig
+from .engine import EventLoop
+from .session import SessionActor
+
+__all__ = ["SimulationResult", "Simulator", "simulate"]
+
+
+@dataclass
+class SimulationResult:
+    """A finished run: the telemetry plus world objects for inspection."""
+
+    dataset: Dataset
+    catalog: Catalog
+    population: ClientPopulation
+    deployment: Deployment
+    servers: Dict[str, CdnServer]
+    config: SimulationConfig
+
+    @property
+    def fleet_miss_ratio(self) -> float:
+        """Requests that missed both cache levels, fleet-wide."""
+        total = sum(s.requests_served for s in self.servers.values())
+        if total == 0:
+            return 0.0
+        misses = sum(
+            s.status_counts[status]
+            for s in self.servers.values()
+            for status in s.status_counts
+            if status.value == "miss"
+        )
+        return misses / total
+
+
+class Simulator:
+    """Reusable simulator: build the world once, run one or more periods."""
+
+    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+        self.config = config or SimulationConfig()
+        config = self.config
+        self.catalog = generate_catalog(
+            n_videos=config.n_videos,
+            seed=config.seed,
+            zipf_alpha=config.zipf_alpha,
+            bitrates_kbps=config.bitrate_ladder_kbps,
+        )
+        population_config = config.population
+        if population_config.seed != config.seed:
+            population_config = type(population_config)(
+                **{**population_config.__dict__, "seed": config.seed}
+            )
+        self.population = generate_population(population_config)
+        self.deployment = build_default_deployment(total_servers=config.n_servers)
+        self.mapping = TrafficEngineering(
+            deployment=self.deployment, strategy=config.mapping_strategy
+        )
+        self.mapping.configure_catalog(config.n_videos)
+        self.servers: Dict[str, CdnServer] = {}
+        for pop in self.deployment.pops:
+            for server_id in pop.server_ids:
+                self.servers[server_id] = CdnServer(
+                    server_id=server_id,
+                    backend_rtt_ms=pop.backend_rtt_ms,
+                    config=config.server,
+                    seed=config.seed,
+                )
+        self._warmed = False
+        self._clock_ms = 0.0
+        if config.warm_first_chunks:
+            self._warm_first_chunks()
+
+    def _warm_first_chunks(self) -> None:
+        """§4.1-2 extension: cache chunk 0 of every title at startup bitrates.
+
+        Warms each title's *home server* in every PoP (the cache-focused
+        target) at the bitrates sessions actually start with: the lowest
+        rung (buffer-based ABRs) and the rate-based ABR's mid-ladder
+        startup rung.
+        """
+        ladder = self.config.bitrate_ladder_kbps
+        warm_bitrates = sorted({ladder[0], ladder[min(4, len(ladder) - 1)]})
+        for pop in self.deployment.pops:
+            for video in self.catalog.videos:
+                decision = self.mapping.assign(
+                    pop.location, video.video_id, video.rank, session_id="warmup"
+                )
+                if decision.pop.pop_id != pop.pop_id:
+                    continue
+                server = self.servers[decision.server_id]
+                for bitrate in warm_bitrates:
+                    server.prefetch(
+                        (video.video_id, 0, int(bitrate)), video.chunk_bytes(0, bitrate)
+                    )
+
+    def run(self, n_sessions: Optional[int] = None, start_ms: float = 0.0) -> SimulationResult:
+        """Simulate *n_sessions* sessions; returns telemetry and world state.
+
+        If the config requests warmup sessions, they run once (before the
+        first measured period) with telemetry discarded, bringing caches to
+        steady state.  Running :meth:`run` again continues from the same
+        cache state (useful for multi-day recurrence studies).
+        """
+        config = self.config
+        n_sessions = n_sessions if n_sessions is not None else config.n_sessions
+        if config.warmup_sessions > 0 and not self._warmed:
+            discard = TelemetryCollector(record_ground_truth=False)
+            self._clock_ms = self._run_period(
+                n_sessions=config.warmup_sessions,
+                seed=config.seed + 99_991,  # disjoint session stream
+                collector=discard,
+                start_ms=self._clock_ms,
+            )
+            self._warmed = True
+        collector = TelemetryCollector(record_ground_truth=config.record_ground_truth)
+        self._clock_ms = self._run_period(
+            n_sessions=n_sessions,
+            seed=config.seed,
+            collector=collector,
+            start_ms=max(start_ms, self._clock_ms),
+        )
+        return SimulationResult(
+            dataset=collector.dataset(),
+            catalog=self.catalog,
+            population=self.population,
+            deployment=self.deployment,
+            servers=self.servers,
+            config=config,
+        )
+
+    def run_days(
+        self,
+        n_days: int,
+        sessions_per_day: Optional[int] = None,
+        day_length_ms: float = 86_400_000.0,
+    ) -> SimulationResult:
+        """Simulate *n_days* consecutive collection days on one cache state.
+
+        Sessions of day *k* start at ``k * day_length_ms``, so downstream
+        recurrence analyses (§4.2-1 repeats the tail-prefix extraction "for
+        every day in our dataset") can split the merged dataset on real
+        day boundaries.  Arrival pacing within a day is unchanged; the
+        remainder of the day is idle (caches persist, as in production).
+        """
+        if n_days <= 0:
+            raise ValueError("n_days must be positive")
+        config = self.config
+        sessions_per_day = (
+            sessions_per_day if sessions_per_day is not None else config.n_sessions
+        )
+        if config.warmup_sessions > 0 and not self._warmed:
+            discard = TelemetryCollector(record_ground_truth=False)
+            self._run_period(
+                n_sessions=config.warmup_sessions,
+                seed=config.seed + 99_991,
+                collector=discard,
+                start_ms=self._clock_ms,
+            )
+            self._warmed = True
+        collector = TelemetryCollector(record_ground_truth=config.record_ground_truth)
+        for day in range(n_days):
+            day_start = max(self._clock_ms, day * day_length_ms)
+            self._clock_ms = self._run_period(
+                n_sessions=sessions_per_day,
+                seed=config.seed + day,  # a fresh session stream per day
+                collector=collector,
+                start_ms=day_start,
+            )
+        return SimulationResult(
+            dataset=collector.dataset(),
+            catalog=self.catalog,
+            population=self.population,
+            deployment=self.deployment,
+            servers=self.servers,
+            config=config,
+        )
+
+    def _run_period(
+        self,
+        n_sessions: int,
+        seed: int,
+        collector: TelemetryCollector,
+        start_ms: float,
+    ) -> float:
+        """Run one collection period into *collector*; returns the end time."""
+        config = self.config
+        generator = SessionGenerator(
+            catalog=self.catalog,
+            population=self.population,
+            seed=seed,
+            arrival_rate_per_s=config.arrival_rate_per_s,
+        )
+        loop = EventLoop()
+
+        def start_session(plan: SessionPlan):
+            def on_start(now_ms: float) -> None:
+                decision = self.mapping.assign(
+                    plan.client.prefix.geo,
+                    plan.video.video_id,
+                    plan.video.rank,
+                    plan.session_id,
+                )
+                actor = SessionActor(
+                    plan=plan,
+                    mapping=decision,
+                    server=self.servers[decision.server_id],
+                    abr=make_abr(
+                        config.abr_name,
+                        plan.video.bitrates_kbps,
+                        **(
+                            {"screen_outliers": True}
+                            if config.abr_screen_outliers and config.abr_name != "buffer"
+                            else {}
+                        ),
+                    ),
+                    collector=collector,
+                    config=config,
+                )
+                first_request_at = now_ms + actor.manifest_time_ms(now_ms)
+                loop.schedule(first_request_at, make_chunk_event(actor))
+
+            return on_start
+
+        def make_chunk_event(actor: SessionActor):
+            def on_chunk(now_ms: float) -> None:
+                next_at = actor.process_chunk(now_ms)
+                if next_at is not None:
+                    loop.schedule(next_at, make_chunk_event(actor))
+
+            return on_chunk
+
+        for plan in generator.generate(n_sessions, start_ms=start_ms):
+            loop.schedule(plan.start_ms, start_session(plan))
+        return loop.run()
+
+
+def simulate(config: Optional[SimulationConfig] = None) -> SimulationResult:
+    """One-shot convenience: build the world and run one collection period."""
+    return Simulator(config).run()

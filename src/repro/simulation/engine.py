@@ -1,0 +1,68 @@
+"""A minimal discrete-event engine.
+
+Sessions interact only through shared CDN server state (caches, load), so
+the engine's job is to interleave per-session chunk events in global time
+order.  It is a classic heap-based event loop: callbacks are scheduled at
+absolute times and may schedule further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventLoop"]
+
+EventCallback = Callable[[float], None]
+
+
+class EventLoop:
+    """Heap-ordered event loop over absolute simulation time (ms)."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, EventCallback]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.events_processed = 0
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulation time (the timestamp of the last event)."""
+        return self._now
+
+    def schedule(self, at_ms: float, callback: EventCallback) -> None:
+        """Schedule *callback* to run at absolute time *at_ms*.
+
+        Scheduling in the past (relative to the event being processed) is a
+        logic error in the caller and raises immediately rather than
+        silently reordering history.
+        """
+        if self._running and at_ms < self._now:
+            raise ValueError(
+                f"cannot schedule at {at_ms} ms; current time is {self._now} ms"
+            )
+        heapq.heappush(self._heap, (at_ms, next(self._counter), callback))
+
+    def run(self, until_ms: Optional[float] = None) -> float:
+        """Process events in time order; returns the final simulation time.
+
+        Stops when the heap empties or the next event is past *until_ms*.
+        """
+        self._running = True
+        try:
+            while self._heap:
+                at_ms, _, callback = self._heap[0]
+                if until_ms is not None and at_ms > until_ms:
+                    break
+                heapq.heappop(self._heap)
+                self._now = at_ms
+                callback(at_ms)
+                self.events_processed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,103 @@
+"""Incident scenarios: canned what-if studies on the simulated platform.
+
+Each scenario runs a *baseline* period and an *incident* period on one
+:class:`~repro.simulation.driver.Simulator` (cache state carries over, as
+in production) and returns both datasets so
+:func:`repro.core.comparison.compare_datasets` can quantify the damage.
+
+Scenarios:
+
+* ``flash-crowd``   — a traffic spike onto a narrow slice of hot titles
+  (e.g. breaking news): arrival rate multiplies, catalog interest narrows.
+* ``cache-flush``   — the fleet's caches restart cold (deploy/restart):
+  every chunk pays the miss path until re-warmed.
+* ``backend-brownout`` — the origin slows down (e.g. storage degradation):
+  misses get much more expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..cdn.cache import TwoLevelCache
+from ..telemetry.dataset import Dataset
+from .config import SimulationConfig
+from .driver import SimulationResult, Simulator
+
+__all__ = ["ScenarioOutcome", "SCENARIOS", "run_scenario"]
+
+
+@dataclass
+class ScenarioOutcome:
+    """Baseline and incident telemetry from one scenario run."""
+
+    name: str
+    baseline: Dataset
+    incident: Dataset
+    simulator: Simulator
+
+
+def _default_config(seed: int) -> SimulationConfig:
+    return SimulationConfig(n_sessions=800, warmup_sessions=1600, seed=seed)
+
+
+def _run_flash_crowd(seed: int) -> ScenarioOutcome:
+    """Arrivals triple and concentrate on a 10-title hot set."""
+    simulator = Simulator(_default_config(seed))
+    baseline = simulator.run().dataset
+    # incident: same fleet/caches, hotter and narrower demand
+    crowd_config = simulator.config.with_overrides(
+        arrival_rate_per_s=simulator.config.arrival_rate_per_s * 3.0,
+        zipf_alpha=1.6,  # interest collapses onto the head
+        n_videos=10,
+        warmup_sessions=0,
+        seed=seed + 1,
+    )
+    crowd = Simulator(crowd_config)
+    crowd.servers = simulator.servers  # keep the warmed fleet
+    crowd.deployment = simulator.deployment
+    incident = crowd.run().dataset
+    return ScenarioOutcome("flash-crowd", baseline, incident, simulator)
+
+
+def _run_cache_flush(seed: int) -> ScenarioOutcome:
+    """All caches restart cold between the two periods."""
+    simulator = Simulator(_default_config(seed))
+    baseline = simulator.run().dataset
+    for server in simulator.servers.values():
+        server.cache = TwoLevelCache(
+            server.config.ram_capacity_bytes,
+            server.config.disk_capacity_bytes,
+            server.config.policy_name,
+        )
+    incident = simulator.run().dataset
+    return ScenarioOutcome("cache-flush", baseline, incident, simulator)
+
+
+def _run_backend_brownout(seed: int, slowdown: float = 8.0) -> ScenarioOutcome:
+    """The origin's service time multiplies (storage degradation)."""
+    simulator = Simulator(_default_config(seed))
+    baseline = simulator.run().dataset
+    for server in simulator.servers.values():
+        server.backend.service_mean_ms *= slowdown
+    incident = simulator.run().dataset
+    return ScenarioOutcome("backend-brownout", baseline, incident, simulator)
+
+
+SCENARIOS: Dict[str, Callable[[int], ScenarioOutcome]] = {
+    "flash-crowd": _run_flash_crowd,
+    "cache-flush": _run_cache_flush,
+    "backend-brownout": _run_backend_brownout,
+}
+
+
+def run_scenario(name: str, seed: int = 29) -> ScenarioOutcome:
+    """Run a named scenario; returns baseline + incident telemetry."""
+    try:
+        runner = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    return runner(seed)

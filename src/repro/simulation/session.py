@@ -1,0 +1,287 @@
+"""The per-session actor: drives one video session through the full path.
+
+Each actor owns the session's player state (ABR, playback buffer, download
+stack, renderer), its TCP connection and network path, and the mapping
+decision that pinned it to a CDN server.  Processing one chunk executes the
+paper's Fig. 2 time diagram end to end:
+
+    GET ──(rtt0/2)──► server: D_wait + D_open + D_read (+ D_BE on miss)
+        ──(rtt0/2)──► first byte enters the client download stack (D_DS)
+        ──(TCP transfer rounds)──► last byte at the player
+        ──► playback buffer append (startup / rebuffering accounting)
+        ──► rendering (frame drops)
+
+and emits both sides' telemetry plus ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..cdn.mapping import MappingDecision
+from ..cdn.server import CdnServer
+from ..client.abr import AbrAlgorithm, ChunkObservation
+from ..client.buffer import PlaybackBuffer
+from ..client.downloadstack import DownloadStackModel
+from ..client.rendering import RenderingModel
+from ..net.path import NetworkPath, build_session_path
+from ..net.tcp import TcpConnection
+from ..telemetry.collector import TelemetryCollector
+from ..telemetry.records import (
+    CdnChunkRecord,
+    CdnSessionRecord,
+    ChunkGroundTruth,
+    PlayerChunkRecord,
+    PlayerSessionRecord,
+    TcpInfoRecord,
+)
+from ..workload.randomness import spawn
+from ..workload.sessions import SessionPlan
+from .config import SimulationConfig
+
+__all__ = ["SessionActor"]
+
+
+class SessionActor:
+    """Simulates one session chunk by chunk."""
+
+    def __init__(
+        self,
+        plan: SessionPlan,
+        mapping: MappingDecision,
+        server: CdnServer,
+        abr: AbrAlgorithm,
+        collector: TelemetryCollector,
+        config: SimulationConfig,
+    ) -> None:
+        self.plan = plan
+        self.mapping = mapping
+        self.server = server
+        self.abr = abr
+        self.collector = collector
+        self.config = config
+
+        # Keyed by session id so warmup streams (different generator seed)
+        # do not replay the measured sessions' noise.
+        self.rng = spawn(config.seed, f"actor|{plan.session_id}")
+        client = plan.client
+        self.path: NetworkPath = build_session_path(
+            prefix=client.prefix,
+            server_location=mapping.pop.location,
+            bandwidth_kbps=client.bandwidth_kbps,
+            rng=self.rng,
+        )
+        # Receiver windows vary by OS/tuning: many clients advertise modest
+        # windows that keep TCP below the path's overflow point (these are
+        # the paper's ~40% loss-free sessions).
+        rwnd_segments = int(np.clip(self.rng.lognormal(np.log(160.0), 0.8), 32, 4096))
+        self.tcp = TcpConnection(
+            path=self.path,
+            rng=self.rng,
+            initial_cwnd=config.tcp_initial_cwnd,
+            slow_start_growth=1.5 if config.tcp_paced else 2.0,
+            max_window_segments=rwnd_segments,
+        )
+        self.buffer = PlaybackBuffer()
+        self.downloadstack = DownloadStackModel(client.platform, self.rng)
+        self.renderer = RenderingModel(
+            platform=client.platform,
+            gpu=client.gpu,
+            cpu_cores=client.cpu_cores,
+            cpu_background_load=client.cpu_background_load,
+            rng=self.rng,
+        )
+        self.next_chunk = 0
+        self.session_had_miss = False
+        self._emit_session_records()
+
+    # -- session-level telemetry ------------------------------------------------
+
+    def _emit_session_records(self) -> None:
+        plan = self.plan
+        client = plan.client
+        self.collector.add_player_session(
+            PlayerSessionRecord(
+                session_id=plan.session_id,
+                client_ip=client.beacon_ip,
+                user_agent=client.user_agent,
+                video_id=plan.video.video_id,
+                video_duration_ms=plan.video.duration_ms,
+                start_ms=plan.start_ms,
+                os=client.platform.os,
+                browser=client.platform.browser,
+            )
+        )
+        self.collector.add_cdn_session(
+            CdnSessionRecord(
+                session_id=plan.session_id,
+                client_ip=client.cdn_visible_ip,
+                user_agent=client.user_agent,
+                pop_id=self.mapping.pop.pop_id,
+                server_id=self.mapping.server_id,
+                org=client.prefix.org,
+                conn_type=client.prefix.conn_type,
+                country=client.prefix.country,
+                city=client.prefix.geo.city,
+                lat=client.prefix.geo.lat,
+                lon=client.prefix.geo.lon,
+            )
+        )
+
+    # -- manifest ----------------------------------------------------------------
+
+    def manifest_time_ms(self, now_ms: float) -> float:
+        """Duration of the initial manifest request (small HTTP exchange)."""
+        rtt = self.path.sample_rtt(now_ms)
+        server_time = float(self.rng.lognormal(np.log(1.5), 0.5))
+        return rtt + server_time
+
+    # -- per-chunk processing -------------------------------------------------------
+
+    def process_chunk(self, now_ms: float) -> Optional[float]:
+        """Process the next chunk's request issued at *now_ms*.
+
+        Returns the absolute time at which the player will issue the next
+        chunk request, or None when the session is over.
+        """
+        plan = self.plan
+        video = plan.video
+        index = self.next_chunk
+        if index >= plan.watch_chunks:
+            return None
+
+        buffer_level_now = self.buffer.level_at(now_ms)
+        bitrate = self.abr.choose_bitrate(buffer_level_now)
+        duration_ms = video.chunk_duration_ms(index)
+        size_bytes = video.chunk_bytes(index, bitrate)
+        key = (video.video_id, index, int(bitrate))
+
+        # --- fetch phase: request travels to the server, server serves ---
+        rtt0 = self.path.sample_rtt(now_ms)
+        serve = self.server.serve(key, size_bytes, now_ms + rtt0 / 2.0)
+        if serve.status.value == "miss":
+            if not self.session_had_miss and self.config.prefetch_after_miss:
+                self._prefetch_following(index, bitrate)
+            self.session_had_miss = True
+
+        # --- download phase: TCP delivers the chunk ---
+        transfer_start = now_ms + rtt0 / 2.0 + serve.total_ms + rtt0 / 2.0
+        transfer = self.tcp.transfer(size_bytes, transfer_start)
+        network_dlb = transfer.duration_ms
+
+        # --- client download stack ---
+        ds = self.downloadstack.sample(index, network_dlb)
+        dfb = rtt0 + serve.total_ms + ds.first_byte_delay_ms
+        dlb = max(1.0, network_dlb - ds.last_byte_shift_ms)
+        complete_ms = now_ms + dfb + dlb
+
+        # --- playout phase ---
+        pre_append_level = self.buffer.level_at(complete_ms)
+        rebuffer_count, rebuffer_ms = self.buffer.on_chunk_ready(
+            index, duration_ms, complete_ms
+        )
+        download_rate = duration_ms / max(dfb + dlb, 1e-6)
+        render = self.renderer.render_chunk(
+            download_rate=download_rate,
+            visible=plan.visibility[index],
+            bitrate_kbps=bitrate,
+            buffer_level_ms=pre_append_level,
+            chunk_duration_ms=duration_ms,
+        )
+
+        # --- telemetry, both sides ---
+        self.collector.add_player_chunk(
+            PlayerChunkRecord(
+                session_id=plan.session_id,
+                chunk_id=index,
+                dfb_ms=dfb,
+                dlb_ms=dlb,
+                bitrate_kbps=float(bitrate),
+                chunk_duration_ms=duration_ms,
+                rebuffer_count=rebuffer_count,
+                rebuffer_ms=rebuffer_ms,
+                visible=plan.visibility[index],
+                avg_fps=render.avg_fps,
+                dropped_frames=render.dropped_frames,
+                total_frames=render.total_frames,
+                request_sent_ms=now_ms,
+                hw_rendered=plan.client.gpu,
+            )
+        )
+        self.collector.add_cdn_chunk(
+            CdnChunkRecord(
+                session_id=plan.session_id,
+                chunk_id=index,
+                d_wait_ms=serve.d_wait_ms,
+                d_open_ms=serve.d_open_ms,
+                d_read_ms=serve.d_read_ms,
+                d_be_ms=serve.d_be_ms,
+                cache_status=serve.status.value,
+                chunk_bytes=size_bytes,
+                server_id=self.server.server_id,
+                pop_id=self.mapping.pop.pop_id,
+                served_at_ms=now_ms + rtt0 / 2.0,
+            )
+        )
+        for sample in transfer.samples:
+            self._emit_tcp_snapshot(index, sample.t_ms)
+        # §2.1: at least one snapshot per chunk — force one at transfer end.
+        self._emit_tcp_snapshot(index, transfer_start + network_dlb)
+        self.collector.add_ground_truth(
+            ChunkGroundTruth(
+                session_id=plan.session_id,
+                chunk_id=index,
+                true_dds_ms=ds.first_byte_delay_ms,
+                true_rtt0_ms=rtt0,
+                transient_ds=ds.transient,
+                segments_sent=transfer.segments_sent,
+                segments_retx=transfer.segments_retx,
+                true_drop_fraction=render.dropped_fraction,
+                network_dlb_ms=network_dlb,
+            )
+        )
+
+        # --- ABR update and next-request pacing ---
+        self.abr.observe(
+            ChunkObservation(
+                bitrate_kbps=float(bitrate),
+                dfb_ms=dfb,
+                dlb_ms=dlb,
+                chunk_bytes=size_bytes,
+            )
+        )
+        self.next_chunk += 1
+        if self.next_chunk >= plan.watch_chunks:
+            return None
+        level_after = self.buffer.level_at(complete_ms)
+        wait = max(0.0, level_after - self.config.max_buffer_ms)
+        return complete_ms + wait
+
+    def _emit_tcp_snapshot(self, chunk_id: int, t_ms: float) -> None:
+        state = self.tcp.state_sample(t_ms)
+        self.collector.add_tcp_snapshot(
+            TcpInfoRecord(
+                session_id=self.plan.session_id,
+                chunk_id=chunk_id,
+                t_ms=t_ms,
+                cwnd_segments=state.cwnd_segments,
+                srtt_ms=state.srtt_ms,
+                rttvar_ms=state.rttvar_ms,
+                retx_total=state.retx_total,
+                mss=state.mss,
+            )
+        )
+
+    def _prefetch_following(self, index: int, bitrate: float) -> None:
+        """§4.1-2 extension: warm the next chunks after the first miss."""
+        video = self.plan.video
+        for ahead in range(1, self.config.prefetch_depth + 1):
+            j = index + ahead
+            if j >= video.n_chunks:
+                break
+            self.server.prefetch(
+                (video.video_id, j, int(bitrate)), video.chunk_bytes(j, bitrate)
+            )

@@ -1,0 +1,31 @@
+"""Instrumentation records, dataset container, and persistence."""
+
+from .beacons import export_beacons_csv, import_beacons_csv
+from .collector import TelemetryCollector
+from .dataset import Dataset, JoinedChunk, SessionView
+from .io import load_dataset, save_dataset
+from .records import (
+    CdnChunkRecord,
+    CdnSessionRecord,
+    ChunkGroundTruth,
+    PlayerChunkRecord,
+    PlayerSessionRecord,
+    TcpInfoRecord,
+)
+
+__all__ = [
+    "TelemetryCollector",
+    "Dataset",
+    "JoinedChunk",
+    "SessionView",
+    "load_dataset",
+    "save_dataset",
+    "export_beacons_csv",
+    "import_beacons_csv",
+    "PlayerChunkRecord",
+    "CdnChunkRecord",
+    "TcpInfoRecord",
+    "PlayerSessionRecord",
+    "CdnSessionRecord",
+    "ChunkGroundTruth",
+]

@@ -1,0 +1,70 @@
+"""Telemetry collector: where both sides' instrumentation lands.
+
+The simulator's player and CDN emit records into one collector (in
+production these are separate beacon/log pipelines joined offline; the
+collector models the post-ingestion state).  It also implements the §2.1
+sampling discipline for ``tcp_info``: snapshots arrive on a 500 ms grid
+during transfers, and the collector guarantees at least one snapshot per
+chunk by accepting a forced end-of-chunk sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .dataset import Dataset
+from .records import (
+    CdnChunkRecord,
+    CdnSessionRecord,
+    ChunkGroundTruth,
+    PlayerChunkRecord,
+    PlayerSessionRecord,
+    TcpInfoRecord,
+)
+
+__all__ = ["TelemetryCollector"]
+
+
+@dataclass
+class TelemetryCollector:
+    """Accumulates records during a simulation run."""
+
+    _player_chunks: List[PlayerChunkRecord] = field(default_factory=list)
+    _cdn_chunks: List[CdnChunkRecord] = field(default_factory=list)
+    _tcp: List[TcpInfoRecord] = field(default_factory=list)
+    _player_sessions: List[PlayerSessionRecord] = field(default_factory=list)
+    _cdn_sessions: List[CdnSessionRecord] = field(default_factory=list)
+    _truth: List[ChunkGroundTruth] = field(default_factory=list)
+    #: when False, ground truth is not recorded (blind dataset)
+    record_ground_truth: bool = True
+
+    def add_player_chunk(self, record: PlayerChunkRecord) -> None:
+        self._player_chunks.append(record)
+
+    def add_cdn_chunk(self, record: CdnChunkRecord) -> None:
+        self._cdn_chunks.append(record)
+
+    def add_tcp_snapshot(self, record: TcpInfoRecord) -> None:
+        self._tcp.append(record)
+
+    def add_player_session(self, record: PlayerSessionRecord) -> None:
+        self._player_sessions.append(record)
+
+    def add_cdn_session(self, record: CdnSessionRecord) -> None:
+        self._cdn_sessions.append(record)
+
+    def add_ground_truth(self, record: ChunkGroundTruth) -> None:
+        if self.record_ground_truth:
+            self._truth.append(record)
+
+    def dataset(self) -> Dataset:
+        """Freeze the collected records into a :class:`Dataset`."""
+        return Dataset(
+            player_chunks=list(self._player_chunks),
+            cdn_chunks=list(self._cdn_chunks),
+            tcp_snapshots=list(self._tcp),
+            player_sessions=list(self._player_sessions),
+            cdn_sessions=list(self._cdn_sessions),
+            ground_truth=list(self._truth),
+        )

@@ -1,0 +1,247 @@
+"""Dataset container and the (session, chunk) join.
+
+"A key to end-to-end analysis is to trace session performance from the
+player through the CDN (at the granularity of chunks).  We implement
+tracing by using a globally unique session ID and per-session chunk IDs."
+(§2.2).  :meth:`Dataset.join_chunks` performs exactly that join; every
+analysis in :mod:`repro.core` operates on the joined views.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .records import (
+    CdnChunkRecord,
+    CdnSessionRecord,
+    ChunkGroundTruth,
+    PlayerChunkRecord,
+    PlayerSessionRecord,
+    TcpInfoRecord,
+)
+
+__all__ = ["JoinedChunk", "SessionView", "Dataset"]
+
+
+@dataclass(frozen=True)
+class JoinedChunk:
+    """One chunk seen from both sides, with its TCP snapshots."""
+
+    player: PlayerChunkRecord
+    cdn: CdnChunkRecord
+    tcp: Tuple[TcpInfoRecord, ...]
+    truth: Optional[ChunkGroundTruth] = None
+
+    @property
+    def session_id(self) -> str:
+        return self.player.session_id
+
+    @property
+    def chunk_id(self) -> int:
+        return self.player.chunk_id
+
+    @property
+    def srtt_samples(self) -> List[float]:
+        """SRTT values of this chunk's snapshots (ms), in time order."""
+        return [snap.srtt_ms for snap in self.tcp if snap.srtt_ms > 0]
+
+    @property
+    def last_tcp(self) -> Optional[TcpInfoRecord]:
+        return self.tcp[-1] if self.tcp else None
+
+    @property
+    def first_tcp(self) -> Optional[TcpInfoRecord]:
+        return self.tcp[0] if self.tcp else None
+
+
+@dataclass
+class SessionView:
+    """All of one session's joined records, chunks in order."""
+
+    session_id: str
+    player_session: PlayerSessionRecord
+    cdn_session: CdnSessionRecord
+    chunks: List[JoinedChunk] = field(default_factory=list)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def avg_bitrate_kbps(self) -> float:
+        if not self.chunks:
+            return 0.0
+        return sum(c.player.bitrate_kbps for c in self.chunks) / len(self.chunks)
+
+    @property
+    def total_rebuffer_ms(self) -> float:
+        return sum(c.player.rebuffer_ms for c in self.chunks)
+
+    @property
+    def total_rebuffer_count(self) -> int:
+        return sum(c.player.rebuffer_count for c in self.chunks)
+
+    @property
+    def watched_media_ms(self) -> float:
+        return sum(c.player.chunk_duration_ms for c in self.chunks)
+
+    @property
+    def rebuffer_rate(self) -> float:
+        """Re-buffering rate: stall time over watched media time (%-able)."""
+        media = self.watched_media_ms
+        if media <= 0:
+            return 0.0
+        return self.total_rebuffer_ms / media
+
+    @property
+    def startup_delay_ms(self) -> Optional[float]:
+        """Time to play: the first chunk's full download time."""
+        if not self.chunks:
+            return None
+        first = self.chunks[0]
+        if first.chunk_id != 0:
+            return None
+        return first.player.download_ms
+
+    @property
+    def session_retx_rate(self) -> float:
+        """Retransmission-rate estimate from the TCP counters (§4.2-3).
+
+        Cumulative retransmissions on the connection divided by the
+        (estimated) number of data segments: total bytes / MSS.
+        """
+        last_snapshot: Optional[TcpInfoRecord] = None
+        total_bytes = 0
+        for chunk in self.chunks:
+            total_bytes += chunk.cdn.chunk_bytes
+            if chunk.tcp:
+                candidate = chunk.tcp[-1]
+                if last_snapshot is None or candidate.retx_total >= last_snapshot.retx_total:
+                    last_snapshot = candidate
+        if last_snapshot is None or total_bytes <= 0:
+            return 0.0
+        segments = max(1.0, total_bytes / last_snapshot.mss)
+        return min(1.0, last_snapshot.retx_total / segments)
+
+    @property
+    def had_loss(self) -> bool:
+        return self.session_retx_rate > 0.0
+
+    def chunk_retx_counts(self) -> List[Tuple[int, int]]:
+        """Per-chunk retransmission deltas [(chunk_id, retx)] from counters."""
+        result: List[Tuple[int, int]] = []
+        previous = 0
+        for chunk in self.chunks:
+            last = chunk.last_tcp
+            if last is None:
+                result.append((chunk.chunk_id, 0))
+                continue
+            delta = max(0, last.retx_total - previous)
+            previous = max(previous, last.retx_total)
+            result.append((chunk.chunk_id, delta))
+        return result
+
+
+@dataclass
+class Dataset:
+    """All telemetry from one simulated collection period."""
+
+    player_chunks: List[PlayerChunkRecord] = field(default_factory=list)
+    cdn_chunks: List[CdnChunkRecord] = field(default_factory=list)
+    tcp_snapshots: List[TcpInfoRecord] = field(default_factory=list)
+    player_sessions: List[PlayerSessionRecord] = field(default_factory=list)
+    cdn_sessions: List[CdnSessionRecord] = field(default_factory=list)
+    ground_truth: List[ChunkGroundTruth] = field(default_factory=list)
+
+    # -- basic shape ---------------------------------------------------------
+
+    @property
+    def n_sessions(self) -> int:
+        return len(self.player_sessions)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self.player_chunks)
+
+    # -- joining -------------------------------------------------------------
+
+    def join_chunks(self) -> List[JoinedChunk]:
+        """Join player and CDN chunk records on (session_id, chunk_id).
+
+        Chunks present on only one side (lost beacons) are dropped, as in
+        any production join.
+        """
+        cdn_index: Dict[Tuple[str, int], CdnChunkRecord] = {
+            (r.session_id, r.chunk_id): r for r in self.cdn_chunks
+        }
+        truth_index: Dict[Tuple[str, int], ChunkGroundTruth] = {
+            (r.session_id, r.chunk_id): r for r in self.ground_truth
+        }
+        tcp_index: Dict[Tuple[str, int], List[TcpInfoRecord]] = {}
+        for snapshot in self.tcp_snapshots:
+            tcp_index.setdefault((snapshot.session_id, snapshot.chunk_id), []).append(snapshot)
+        for snapshots in tcp_index.values():
+            snapshots.sort(key=lambda s: s.t_ms)
+
+        joined: List[JoinedChunk] = []
+        for player in self.player_chunks:
+            key = (player.session_id, player.chunk_id)
+            cdn = cdn_index.get(key)
+            if cdn is None:
+                continue
+            joined.append(
+                JoinedChunk(
+                    player=player,
+                    cdn=cdn,
+                    tcp=tuple(tcp_index.get(key, ())),
+                    truth=truth_index.get(key),
+                )
+            )
+        return joined
+
+    def sessions(self) -> List[SessionView]:
+        """Group the join by session; sessions missing either side are dropped."""
+        cdn_sessions = {r.session_id: r for r in self.cdn_sessions}
+        views: Dict[str, SessionView] = {}
+        for player_session in self.player_sessions:
+            cdn_session = cdn_sessions.get(player_session.session_id)
+            if cdn_session is None:
+                continue
+            views[player_session.session_id] = SessionView(
+                session_id=player_session.session_id,
+                player_session=player_session,
+                cdn_session=cdn_session,
+            )
+        for chunk in self.join_chunks():
+            view = views.get(chunk.session_id)
+            if view is not None:
+                view.chunks.append(chunk)
+        for view in views.values():
+            view.chunks.sort(key=lambda c: c.chunk_id)
+        return [views[sid] for sid in sorted(views)]
+
+    # -- filtering / combining -------------------------------------------------
+
+    def filter_sessions(self, keep_ids: Iterable[str]) -> "Dataset":
+        """A new dataset containing only the given session ids."""
+        keep: Set[str] = set(keep_ids)
+        return Dataset(
+            player_chunks=[r for r in self.player_chunks if r.session_id in keep],
+            cdn_chunks=[r for r in self.cdn_chunks if r.session_id in keep],
+            tcp_snapshots=[r for r in self.tcp_snapshots if r.session_id in keep],
+            player_sessions=[r for r in self.player_sessions if r.session_id in keep],
+            cdn_sessions=[r for r in self.cdn_sessions if r.session_id in keep],
+            ground_truth=[r for r in self.ground_truth if r.session_id in keep],
+        )
+
+    def merge(self, other: "Dataset") -> "Dataset":
+        """Concatenate two datasets (e.g. multiple simulated days)."""
+        return Dataset(
+            player_chunks=self.player_chunks + other.player_chunks,
+            cdn_chunks=self.cdn_chunks + other.cdn_chunks,
+            tcp_snapshots=self.tcp_snapshots + other.tcp_snapshots,
+            player_sessions=self.player_sessions + other.player_sessions,
+            cdn_sessions=self.cdn_sessions + other.cdn_sessions,
+            ground_truth=self.ground_truth + other.ground_truth,
+        )

@@ -1,0 +1,169 @@
+"""Instrumentation records — the paper's Tables 2 and 3, as dataclasses.
+
+Two sides emit records independently, exactly as in the paper:
+
+* the **player** beacons per-chunk delivery milestones (D_FB, D_LB, bitrate)
+  and rendering/playout stats (rebuffering, visibility, frame rates), plus
+  one per-session metadata beacon;
+* the **CDN** logs per-chunk serving latency decomposition and cache
+  status, per-session connection metadata, and periodic ``tcp_info``
+  snapshots from the kernel.
+
+They share only the (session id, chunk id) join keys.  A separate
+:class:`ChunkGroundTruth` record carries simulator-only truth (true
+download-stack delay, true rtt0, ...) used to *validate* the analysis —
+the analysis itself never reads it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "PlayerChunkRecord",
+    "CdnChunkRecord",
+    "TcpInfoRecord",
+    "PlayerSessionRecord",
+    "CdnSessionRecord",
+    "ChunkGroundTruth",
+]
+
+
+@dataclass(frozen=True)
+class PlayerChunkRecord:
+    """Player-side per-chunk beacon (Table 2, 'Player' rows)."""
+
+    session_id: str
+    chunk_id: int
+    dfb_ms: float  # first-byte delay, GET sent -> first byte at player
+    dlb_ms: float  # last-byte delay, first byte -> last byte at player
+    bitrate_kbps: float
+    chunk_duration_ms: float
+    rebuffer_count: int  # bufcount: stalls ended by this chunk
+    rebuffer_ms: float  # bufdur
+    visible: bool  # vis
+    avg_fps: float  # avgfr
+    dropped_frames: int  # dropfr
+    total_frames: int
+    request_sent_ms: float  # wall-clock when the GET left the player
+    #: whether the chunk was rendered in hardware (GPU) — the player knows
+    #: its rendering mode (StageVideo vs software) and Fig. 19's first bar
+    #: reports hardware-rendered chunks separately
+    hw_rendered: bool = False
+
+    @property
+    def download_ms(self) -> float:
+        """Total time from request to last byte."""
+        return self.dfb_ms + self.dlb_ms
+
+    @property
+    def download_rate(self) -> float:
+        """Seconds of video per second of download (Fig. 19's x-axis)."""
+        if self.download_ms <= 0:
+            return float("inf")
+        return self.chunk_duration_ms / self.download_ms
+
+    @property
+    def dropped_fraction(self) -> float:
+        if self.total_frames <= 0:
+            return 0.0
+        return self.dropped_frames / self.total_frames
+
+
+@dataclass(frozen=True)
+class CdnChunkRecord:
+    """CDN-side per-chunk log (Table 2, 'CDN (App layer)' row)."""
+
+    session_id: str
+    chunk_id: int
+    d_wait_ms: float
+    d_open_ms: float
+    d_read_ms: float
+    d_be_ms: float
+    cache_status: str  # "hit_ram" | "hit_disk" | "miss"
+    chunk_bytes: int
+    server_id: str
+    pop_id: str
+    served_at_ms: float
+
+    @property
+    def d_cdn_ms(self) -> float:
+        """The paper's D_CDN = D_wait + D_open + D_read."""
+        return self.d_wait_ms + self.d_open_ms + self.d_read_ms
+
+    @property
+    def total_server_ms(self) -> float:
+        """D_CDN + D_BE: full server-side contribution to D_FB."""
+        return self.d_cdn_ms + self.d_be_ms
+
+    @property
+    def is_hit(self) -> bool:
+        return self.cache_status != "miss"
+
+
+@dataclass(frozen=True)
+class TcpInfoRecord:
+    """One kernel ``tcp_info`` snapshot (Table 2, 'CDN (TCP layer)' row)."""
+
+    session_id: str
+    chunk_id: int
+    t_ms: float
+    cwnd_segments: int
+    srtt_ms: float
+    rttvar_ms: float
+    retx_total: int  # cumulative retransmissions on the connection
+    mss: int
+
+    @property
+    def throughput_kbps(self) -> float:
+        """Eq. 3: MSS * CWND / SRTT."""
+        if self.srtt_ms <= 0:
+            return 0.0
+        return self.cwnd_segments * self.mss * 8.0 / self.srtt_ms
+
+
+@dataclass(frozen=True)
+class PlayerSessionRecord:
+    """Player-side per-session beacon (Table 3, 'Player' row)."""
+
+    session_id: str
+    client_ip: str  # the client's own view of its IP
+    user_agent: str
+    video_id: int
+    video_duration_ms: float
+    start_ms: float
+    os: str
+    browser: str
+
+
+@dataclass(frozen=True)
+class CdnSessionRecord:
+    """CDN-side per-session log (Table 3, 'CDN' row)."""
+
+    session_id: str
+    client_ip: str  # as seen by the CDN (a proxy's IP if proxied)
+    user_agent: str
+    pop_id: str
+    server_id: str
+    org: str  # AS / ISP / enterprise organization
+    conn_type: str
+    country: str
+    city: str
+    lat: float
+    lon: float
+
+
+@dataclass(frozen=True)
+class ChunkGroundTruth:
+    """Simulator-only truth per chunk — validation data, never analysis input."""
+
+    session_id: str
+    chunk_id: int
+    true_dds_ms: float  # actual download-stack latency in D_FB
+    true_rtt0_ms: float  # actual network RTT of the request round
+    transient_ds: bool  # was this a download-stack buffering burst?
+    segments_sent: int
+    segments_retx: int
+    true_drop_fraction: float
+    network_dlb_ms: float  # D_LB before download-stack distortion

@@ -1,0 +1,30 @@
+"""Synthetic workload generation: catalog, clients, geography, sessions."""
+
+from .catalog import (
+    CHUNK_DURATION_MS,
+    DEFAULT_BITRATE_LADDER_KBPS,
+    Catalog,
+    Video,
+    chunk_size_bytes,
+    generate_catalog,
+)
+from .clients import Client, ClientPopulation, PopulationConfig, Prefix, generate_population
+from .popularity import PopularityModel
+from .sessions import SessionGenerator, SessionPlan
+
+__all__ = [
+    "CHUNK_DURATION_MS",
+    "DEFAULT_BITRATE_LADDER_KBPS",
+    "Catalog",
+    "Video",
+    "chunk_size_bytes",
+    "generate_catalog",
+    "Client",
+    "ClientPopulation",
+    "PopulationConfig",
+    "Prefix",
+    "generate_population",
+    "PopularityModel",
+    "SessionGenerator",
+    "SessionPlan",
+]

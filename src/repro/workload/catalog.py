@@ -1,0 +1,145 @@
+"""Video catalog: titles, durations, bitrate ladder, and chunking.
+
+§3 of the paper: all chunks carry six seconds of video (except possibly the
+last), video lengths span ~10 s to hours with a long tail (Fig. 3(a)), and
+each title is offered at multiple bitrates for the ABR to pick from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .popularity import PopularityModel
+from .randomness import spawn
+
+__all__ = [
+    "CHUNK_DURATION_MS",
+    "DEFAULT_BITRATE_LADDER_KBPS",
+    "Video",
+    "Catalog",
+    "chunk_size_bytes",
+]
+
+#: All chunks contain six seconds of video (§3).
+CHUNK_DURATION_MS: float = 6000.0
+
+#: A typical VoD bitrate ladder (kbps).  The paper reports session bitrates
+#: from a few hundred kbps to several Mbps (Fig. 11(b)).
+DEFAULT_BITRATE_LADDER_KBPS: Tuple[int, ...] = (235, 375, 560, 750, 1050, 1750, 2350, 3000)
+
+#: Encoded frame rate; used by the rendering model to convert a drop
+#: fraction into dropped-frame counts per chunk.
+FRAMES_PER_SECOND: float = 30.0
+
+
+def chunk_size_bytes(bitrate_kbps: float, duration_ms: float = CHUNK_DURATION_MS) -> int:
+    """Size in bytes of a chunk of *duration_ms* encoded at *bitrate_kbps*."""
+    if bitrate_kbps <= 0:
+        raise ValueError("bitrate must be positive")
+    if duration_ms <= 0:
+        raise ValueError("duration must be positive")
+    return int(bitrate_kbps * duration_ms / 8.0)  # kbit/s * ms = bits/8 -> bytes
+
+
+@dataclass(frozen=True)
+class Video:
+    """One title in the catalog."""
+
+    video_id: int
+    rank: int  # zero-based popularity rank; 0 = most popular
+    duration_ms: float
+    bitrates_kbps: Tuple[int, ...] = DEFAULT_BITRATE_LADDER_KBPS
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of 6-second chunks (last chunk may be shorter)."""
+        return max(1, int(np.ceil(self.duration_ms / CHUNK_DURATION_MS)))
+
+    def chunk_duration_ms(self, chunk_index: int) -> float:
+        """Duration of the chunk at *chunk_index* (only the last is short)."""
+        if not 0 <= chunk_index < self.n_chunks:
+            raise ValueError(f"chunk_index {chunk_index} out of range for {self.n_chunks} chunks")
+        if chunk_index < self.n_chunks - 1:
+            return CHUNK_DURATION_MS
+        remainder = self.duration_ms - CHUNK_DURATION_MS * (self.n_chunks - 1)
+        return remainder if remainder > 0 else CHUNK_DURATION_MS
+
+    def chunk_bytes(self, chunk_index: int, bitrate_kbps: float) -> int:
+        """Encoded size of one chunk at the given bitrate."""
+        return chunk_size_bytes(bitrate_kbps, self.chunk_duration_ms(chunk_index))
+
+
+@dataclass
+class Catalog:
+    """The full set of videos plus their popularity model."""
+
+    videos: Sequence[Video]
+    popularity: PopularityModel = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not self.videos:
+            raise ValueError("catalog must contain at least one video")
+        if self.popularity is None:
+            self.popularity = PopularityModel(n_videos=len(self.videos))
+        if self.popularity.n_videos != len(self.videos):
+            raise ValueError("popularity model size must match the catalog")
+
+    def __len__(self) -> int:
+        return len(self.videos)
+
+    def __getitem__(self, video_id: int) -> Video:
+        return self.videos[video_id]
+
+    def sample_videos(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Sample *size* video ids according to popularity.
+
+        Video ids are assigned in rank order at generation time, so a rank
+        is also a video id; we keep the two concepts separate in the API
+        because real catalogs do not have that property.
+        """
+        ranks = self.popularity.sample_ranks(rng, size)
+        return ranks  # id == rank by construction (see generate_catalog)
+
+
+def sample_duration_ms(rng: np.random.Generator) -> float:
+    """Sample a video duration matching Fig. 3(a)'s long-tailed CCDF.
+
+    The bulk of the catalog is short-form news/clip content (tens of
+    seconds to a few minutes) with a heavy tail out to hours.  A lognormal
+    with median ~90 s and a wide shape parameter reproduces the figure's
+    straight-ish CCDF decay between 10^1 and 10^4 seconds.
+    """
+    median_s = 90.0
+    sigma = 1.1
+    duration_s = float(rng.lognormal(np.log(median_s), sigma))
+    return float(np.clip(duration_s, 10.0, 4.0 * 3600.0)) * 1000.0
+
+
+def generate_catalog(
+    n_videos: int = 10_000,
+    seed: int = 0,
+    zipf_alpha: float = 0.8,
+    bitrates_kbps: Tuple[int, ...] = DEFAULT_BITRATE_LADDER_KBPS,
+) -> Catalog:
+    """Generate a synthetic catalog with Zipf popularity and long-tail lengths."""
+    if n_videos <= 0:
+        raise ValueError("n_videos must be positive")
+    if not bitrates_kbps:
+        raise ValueError("bitrate ladder must be non-empty")
+    if list(bitrates_kbps) != sorted(bitrates_kbps):
+        raise ValueError("bitrate ladder must be sorted ascending")
+    rng = spawn(seed, "catalog")
+    videos = [
+        Video(
+            video_id=i,
+            rank=i,
+            duration_ms=sample_duration_ms(rng),
+            bitrates_kbps=tuple(bitrates_kbps),
+        )
+        for i in range(n_videos)
+    ]
+    popularity = PopularityModel(n_videos=n_videos, alpha=zipf_alpha)
+    return Catalog(videos=videos, popularity=popularity)

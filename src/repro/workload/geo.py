@@ -1,0 +1,221 @@
+"""Geography model: cities, client placement, and great-circle distances.
+
+The paper's network findings hinge on geography: >93% of clients are in
+North America, CDN PoPs are US-based, and the tail-latency prefixes split
+into far-away international clients (75%) and nearby enterprise clients
+(25%, mostly within a few km of a PoP).  We model geography with a compact
+city database — US cities that host PoPs, additional US client cities, and
+international client cities spread over many countries — and place clients
+in cities with small intra-city jitter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "City",
+    "GeoPoint",
+    "haversine_km",
+    "propagation_rtt_ms",
+    "US_POP_CITIES",
+    "US_CLIENT_CITIES",
+    "INTL_CLIENT_CITIES",
+]
+
+EARTH_RADIUS_KM = 6371.0
+
+#: Round-trip propagation delay per kilometre of great-circle distance.
+#: Light in fibre travels ~200 km/ms one-way; real paths are not great
+#: circles (routing stretch ~1.5-2x), giving ~0.015-0.02 ms of RTT per km.
+RTT_MS_PER_KM = 0.018
+
+
+@dataclass(frozen=True)
+class City:
+    """A city in the model's map, with a client-population weight."""
+
+    name: str
+    country: str
+    lat: float
+    lon: float
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """A concrete location (client or server)."""
+
+    lat: float
+    lon: float
+    city: str
+    country: str
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (lat, lon) points in kilometres."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlambda = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2) ** 2
+    return 2 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def propagation_rtt_ms(distance_km: float) -> float:
+    """Map great-circle distance to round-trip propagation delay (ms)."""
+    if distance_km < 0:
+        raise ValueError("distance must be non-negative")
+    return distance_km * RTT_MS_PER_KM
+
+
+#: Cities hosting CDN PoPs (the paper's 85 servers sit in US PoPs).
+US_POP_CITIES: Tuple[City, ...] = (
+    City("New York", "US", 40.71, -74.01, 10.0),
+    City("Washington DC", "US", 38.91, -77.04, 6.0),
+    City("Atlanta", "US", 33.75, -84.39, 5.0),
+    City("Miami", "US", 25.76, -80.19, 4.0),
+    City("Chicago", "US", 41.88, -87.63, 8.0),
+    City("Dallas", "US", 32.78, -96.80, 6.0),
+    City("Denver", "US", 39.74, -104.99, 3.0),
+    City("Los Angeles", "US", 34.05, -118.24, 9.0),
+    City("San Jose", "US", 37.34, -121.89, 7.0),
+    City("Seattle", "US", 47.61, -122.33, 4.0),
+)
+
+#: US cities where clients live (includes the PoP cities themselves, which
+#: is what produces the "nearby enterprise with bad latency" population).
+US_CLIENT_CITIES: Tuple[City, ...] = US_POP_CITIES + (
+    City("Boston", "US", 42.36, -71.06, 4.0),
+    City("Philadelphia", "US", 39.95, -75.17, 4.0),
+    City("Houston", "US", 29.76, -95.37, 5.0),
+    City("Phoenix", "US", 33.45, -112.07, 3.0),
+    City("San Diego", "US", 32.72, -117.16, 3.0),
+    City("San Francisco", "US", 37.77, -122.42, 4.0),
+    City("Portland", "US", 45.52, -122.68, 2.0),
+    City("Minneapolis", "US", 44.98, -93.27, 2.5),
+    City("Detroit", "US", 42.33, -83.05, 2.5),
+    City("St. Louis", "US", 38.63, -90.20, 2.0),
+    City("Kansas City", "US", 39.10, -94.58, 1.5),
+    City("Salt Lake City", "US", 40.76, -111.89, 1.2),
+    City("Charlotte", "US", 35.23, -80.84, 2.0),
+    City("Nashville", "US", 36.16, -86.78, 1.8),
+    City("Orlando", "US", 28.54, -81.38, 2.0),
+    City("Tampa", "US", 27.95, -82.46, 1.8),
+    City("Pittsburgh", "US", 40.44, -79.99, 1.5),
+    City("Cleveland", "US", 41.50, -81.69, 1.5),
+    City("Cincinnati", "US", 39.10, -84.51, 1.3),
+    City("Indianapolis", "US", 39.77, -86.16, 1.3),
+    City("Columbus", "US", 39.96, -83.00, 1.3),
+    City("Milwaukee", "US", 43.04, -87.91, 1.2),
+    City("Austin", "US", 30.27, -97.74, 1.8),
+    City("San Antonio", "US", 29.42, -98.49, 1.5),
+    City("New Orleans", "US", 29.95, -90.07, 1.0),
+    City("Raleigh", "US", 35.78, -78.64, 1.2),
+    City("Richmond", "US", 37.54, -77.44, 1.0),
+    City("Jacksonville", "US", 30.33, -81.66, 1.0),
+    City("Memphis", "US", 35.15, -90.05, 1.0),
+    City("Oklahoma City", "US", 35.47, -97.52, 0.9),
+    City("Albuquerque", "US", 35.08, -106.65, 0.8),
+    City("Las Vegas", "US", 36.17, -115.14, 1.2),
+    City("Sacramento", "US", 38.58, -121.49, 1.2),
+    City("Boise", "US", 43.62, -116.21, 0.5),
+    City("Anchorage", "US", 61.22, -149.90, 0.3),
+    City("Honolulu", "US", 21.31, -157.86, 0.4),
+)
+
+#: International client cities across many countries — the long-distance
+#: population that dominates the tail-latency prefixes (75% of the tail in
+#: the paper is outside the US, spread across 96 countries).
+INTL_CLIENT_CITIES: Tuple[City, ...] = (
+    City("Toronto", "CA", 43.65, -79.38, 6.0),
+    City("Vancouver", "CA", 49.28, -123.12, 3.0),
+    City("Montreal", "CA", 45.50, -73.57, 3.0),
+    City("Mexico City", "MX", 19.43, -99.13, 3.0),
+    City("Guadalajara", "MX", 20.67, -103.35, 1.0),
+    City("London", "GB", 51.51, -0.13, 4.0),
+    City("Manchester", "GB", 53.48, -2.24, 1.0),
+    City("Dublin", "IE", 53.35, -6.26, 0.8),
+    City("Paris", "FR", 48.86, 2.35, 2.0),
+    City("Berlin", "DE", 52.52, 13.40, 1.5),
+    City("Frankfurt", "DE", 50.11, 8.68, 1.0),
+    City("Madrid", "ES", 40.42, -3.70, 1.2),
+    City("Barcelona", "ES", 41.39, 2.17, 0.8),
+    City("Rome", "IT", 41.90, 12.50, 1.0),
+    City("Milan", "IT", 45.46, 9.19, 0.8),
+    City("Amsterdam", "NL", 52.37, 4.90, 1.0),
+    City("Brussels", "BE", 50.85, 4.35, 0.6),
+    City("Zurich", "CH", 47.38, 8.54, 0.5),
+    City("Vienna", "AT", 48.21, 16.37, 0.5),
+    City("Stockholm", "SE", 59.33, 18.07, 0.6),
+    City("Oslo", "NO", 59.91, 10.75, 0.4),
+    City("Copenhagen", "DK", 55.68, 12.57, 0.5),
+    City("Helsinki", "FI", 60.17, 24.94, 0.4),
+    City("Warsaw", "PL", 52.23, 21.01, 0.7),
+    City("Prague", "CZ", 50.08, 14.44, 0.5),
+    City("Budapest", "HU", 47.50, 19.04, 0.4),
+    City("Athens", "GR", 37.98, 23.73, 0.4),
+    City("Lisbon", "PT", 38.72, -9.14, 0.4),
+    City("Istanbul", "TR", 41.01, 28.98, 0.8),
+    City("Moscow", "RU", 55.76, 37.62, 0.8),
+    City("Kyiv", "UA", 50.45, 30.52, 0.4),
+    City("Tel Aviv", "IL", 32.07, 34.78, 0.5),
+    City("Dubai", "AE", 25.20, 55.27, 0.6),
+    City("Riyadh", "SA", 24.71, 46.68, 0.4),
+    City("Cairo", "EG", 30.04, 31.24, 0.5),
+    City("Johannesburg", "ZA", -26.20, 28.05, 0.5),
+    City("Lagos", "NG", 6.52, 3.38, 0.4),
+    City("Nairobi", "KE", -1.29, 36.82, 0.3),
+    City("Mumbai", "IN", 19.08, 72.88, 1.2),
+    City("Delhi", "IN", 28.70, 77.10, 1.0),
+    City("Bangalore", "IN", 12.97, 77.59, 0.8),
+    City("Singapore", "SG", 1.35, 103.82, 0.8),
+    City("Kuala Lumpur", "MY", 3.14, 101.69, 0.4),
+    City("Bangkok", "TH", 13.76, 100.50, 0.5),
+    City("Jakarta", "ID", -6.21, 106.85, 0.5),
+    City("Manila", "PH", 14.60, 120.98, 0.5),
+    City("Hong Kong", "HK", 22.32, 114.17, 0.7),
+    City("Taipei", "TW", 25.03, 121.57, 0.5),
+    City("Seoul", "KR", 37.57, 126.98, 0.8),
+    City("Tokyo", "JP", 35.68, 139.69, 1.2),
+    City("Osaka", "JP", 34.69, 135.50, 0.5),
+    City("Sydney", "AU", -33.87, 151.21, 1.0),
+    City("Melbourne", "AU", -37.81, 144.96, 0.8),
+    City("Auckland", "NZ", -36.85, 174.76, 0.4),
+    City("Sao Paulo", "BR", -23.55, -46.63, 1.2),
+    City("Rio de Janeiro", "BR", -22.91, -43.17, 0.8),
+    City("Buenos Aires", "AR", -34.60, -58.38, 0.8),
+    City("Santiago", "CL", -33.45, -70.67, 0.5),
+    City("Bogota", "CO", 4.71, -74.07, 0.5),
+    City("Lima", "PE", -12.05, -77.04, 0.4),
+)
+
+
+def sample_city(rng: np.random.Generator, cities: Sequence[City]) -> City:
+    """Sample a city proportionally to its population weight."""
+    weights = np.asarray([c.weight for c in cities], dtype=float)
+    weights /= weights.sum()
+    return cities[int(rng.choice(len(cities), p=weights))]
+
+
+def jittered_point(rng: np.random.Generator, city: City, spread_km: float = 25.0) -> GeoPoint:
+    """Place a point near *city* with Gaussian jitter of ~spread_km."""
+    # 1 degree latitude ~ 111 km; longitude scaled by cos(lat).
+    dlat = rng.normal(0.0, spread_km / 111.0)
+    coslat = max(0.1, math.cos(math.radians(city.lat)))
+    dlon = rng.normal(0.0, spread_km / (111.0 * coslat))
+    return GeoPoint(lat=city.lat + dlat, lon=city.lon + dlon, city=city.name, country=city.country)
+
+
+def distance_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Great-circle distance between two points."""
+    return haversine_km(a.lat, a.lon, b.lat, b.lon)
+
+
+def all_countries() -> List[str]:
+    """Distinct countries present in the client map (US + international)."""
+    countries = {c.country for c in US_CLIENT_CITIES} | {c.country for c in INTL_CLIENT_CITIES}
+    return sorted(countries)

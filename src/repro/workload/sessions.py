@@ -1,0 +1,118 @@
+"""Session arrival process and per-session viewing plans.
+
+A session plan fixes everything decided *before* playback starts: which
+client, which video, when the session starts, how many chunks the user is
+willing to watch (abandonment), and per-chunk visibility (hidden tabs /
+minimized windows drop frames intentionally, §2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from .catalog import Catalog, Video
+from .clients import Client, ClientPopulation
+from .randomness import session_rng, spawn
+
+__all__ = ["SessionPlan", "SessionGenerator"]
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """Everything about a session that is fixed before the first request."""
+
+    session_id: str
+    session_index: int
+    start_ms: float
+    client: Client
+    video: Video
+    #: number of chunks the user intends to watch (abandonment-truncated)
+    watch_chunks: int
+    #: per-chunk player visibility (False = hidden tab / minimized window)
+    visibility: tuple
+
+    @property
+    def n_chunks(self) -> int:
+        return self.watch_chunks
+
+
+def _sample_watch_chunks(rng: np.random.Generator, video: Video) -> int:
+    """How many chunks does the user actually watch?
+
+    Viewing time is long-tailed: many viewers abandon within the first few
+    chunks, some watch to the end.  Fig. 11(a)'s session-length CDF has a
+    median of roughly 4-6 chunks with a tail past 20; a geometric-like
+    lognormal truncated by the video length reproduces that.
+    """
+    intended = int(round(rng.lognormal(np.log(5.0), 0.9)))
+    intended = max(1, intended)
+    return min(intended, video.n_chunks)
+
+
+def _sample_visibility(rng: np.random.Generator, n_chunks: int) -> tuple:
+    """Per-chunk visibility: occasional hidden-tab episodes.
+
+    Hidden playback tends to come in runs (the user switches away and back),
+    so we model a two-state Markov chain rather than i.i.d. coin flips.
+    """
+    p_hide = 0.015  # chance of switching away at each chunk boundary
+    p_return = 0.35  # chance of coming back
+    visible = True
+    flags: List[bool] = []
+    for _ in range(n_chunks):
+        if visible and rng.random() < p_hide:
+            visible = False
+        elif not visible and rng.random() < p_return:
+            visible = True
+        flags.append(visible)
+    return tuple(flags)
+
+
+@dataclass
+class SessionGenerator:
+    """Generates a stream of :class:`SessionPlan` objects.
+
+    Arrivals follow a homogeneous Poisson process with the configured rate;
+    the video is drawn from the catalog's popularity model and the client
+    from the prefix population.
+    """
+
+    catalog: Catalog
+    population: ClientPopulation
+    seed: int = 0
+    arrival_rate_per_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_per_s <= 0:
+            raise ValueError("arrival_rate_per_s must be positive")
+
+    def generate(self, n_sessions: int, start_ms: float = 0.0) -> Iterator[SessionPlan]:
+        """Yield *n_sessions* plans in arrival order."""
+        if n_sessions < 0:
+            raise ValueError("n_sessions must be non-negative")
+        arrival_rng = spawn(self.seed, "arrivals")
+        choice_rng = spawn(self.seed, "session-choices")
+        video_ids = self.catalog.sample_videos(choice_rng, n_sessions)
+        t = start_ms
+        for index in range(n_sessions):
+            t += float(arrival_rng.exponential(1000.0 / self.arrival_rate_per_s))
+            rng = session_rng(self.seed, index)
+            client = self.population.sample_client(rng)
+            video = self.catalog[int(video_ids[index])]
+            watch = _sample_watch_chunks(rng, video)
+            yield SessionPlan(
+                session_id=f"s{self.seed:04d}-{index:08d}",
+                session_index=index,
+                start_ms=t,
+                client=client,
+                video=video,
+                watch_chunks=watch,
+                visibility=_sample_visibility(rng, watch),
+            )
+
+    def generate_list(self, n_sessions: int, start_ms: float = 0.0) -> List[SessionPlan]:
+        """Materialize :meth:`generate` into a list."""
+        return list(self.generate(n_sessions, start_ms))

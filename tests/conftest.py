@@ -1,0 +1,45 @@
+"""Shared fixtures: one simulation per scale, shared across the whole run.
+
+The expensive full-path simulations are session-scoped (and additionally
+memoized inside :mod:`repro.analysis.experiments.common`), so every test
+module analyzes the same trace rather than re-simulating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import common
+from repro.core.proxy_filter import filter_proxies
+
+
+@pytest.fixture(scope="session")
+def small_result():
+    """A small full simulation (fast; for plumbing and smoke tests)."""
+    return common.standard_result("small")
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_result):
+    """The small simulation's proxy-filtered dataset."""
+    dataset, _ = filter_proxies(small_result.dataset)
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def medium_result():
+    """The standard medium simulation (shape assertions need its volume)."""
+    return common.standard_result("medium")
+
+
+@pytest.fixture(scope="session")
+def medium_dataset(medium_result):
+    """The medium simulation's proxy-filtered dataset."""
+    return common.filtered_dataset("medium")
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

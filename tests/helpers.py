@@ -1,0 +1,108 @@
+"""Builders for synthetic telemetry records used across test modules."""
+
+from repro.telemetry.dataset import Dataset
+from repro.telemetry.records import (
+    CdnChunkRecord,
+    CdnSessionRecord,
+    PlayerChunkRecord,
+    PlayerSessionRecord,
+    TcpInfoRecord,
+)
+
+
+def player_chunk(session="s1", chunk=0, **kwargs):
+    defaults = dict(
+        session_id=session,
+        chunk_id=chunk,
+        dfb_ms=100.0,
+        dlb_ms=900.0,
+        bitrate_kbps=1050.0,
+        chunk_duration_ms=6000.0,
+        rebuffer_count=0,
+        rebuffer_ms=0.0,
+        visible=True,
+        avg_fps=30.0,
+        dropped_frames=0,
+        total_frames=180,
+        request_sent_ms=0.0,
+        hw_rendered=False,
+    )
+    defaults.update(kwargs)
+    return PlayerChunkRecord(**defaults)
+
+
+def cdn_chunk(session="s1", chunk=0, **kwargs):
+    defaults = dict(
+        session_id=session,
+        chunk_id=chunk,
+        d_wait_ms=0.3,
+        d_open_ms=0.1,
+        d_read_ms=1.0,
+        d_be_ms=0.0,
+        cache_status="hit_ram",
+        chunk_bytes=787_500,
+        server_id="srv-x-00",
+        pop_id="pop-x",
+        served_at_ms=30.0,
+    )
+    defaults.update(kwargs)
+    return CdnChunkRecord(**defaults)
+
+
+def tcp_snap(session="s1", chunk=0, t=500.0, **kwargs):
+    defaults = dict(
+        session_id=session,
+        chunk_id=chunk,
+        t_ms=t,
+        cwnd_segments=40,
+        srtt_ms=60.0,
+        rttvar_ms=5.0,
+        retx_total=0,
+        mss=1460,
+    )
+    defaults.update(kwargs)
+    return TcpInfoRecord(**defaults)
+
+
+def player_session(session="s1", **kwargs):
+    defaults = dict(
+        session_id=session,
+        client_ip="10.0.0.1",
+        user_agent="UA",
+        video_id=1,
+        video_duration_ms=60_000.0,
+        start_ms=0.0,
+        os="Windows",
+        browser="Chrome",
+    )
+    defaults.update(kwargs)
+    return PlayerSessionRecord(**defaults)
+
+
+def cdn_session(session="s1", **kwargs):
+    defaults = dict(
+        session_id=session,
+        client_ip="10.0.0.1",
+        user_agent="UA",
+        pop_id="pop-x",
+        server_id="srv-x-00",
+        org="Comcast",
+        conn_type="cable",
+        country="US",
+        city="Chicago",
+        lat=41.9,
+        lon=-87.6,
+    )
+    defaults.update(kwargs)
+    return CdnSessionRecord(**defaults)
+
+
+def make_dataset(n_chunks=3) -> Dataset:
+    return Dataset(
+        player_chunks=[player_chunk(chunk=i) for i in range(n_chunks)],
+        cdn_chunks=[cdn_chunk(chunk=i) for i in range(n_chunks)],
+        tcp_snapshots=[tcp_snap(chunk=i, t=500.0 * (i + 1)) for i in range(n_chunks)],
+        player_sessions=[player_session()],
+        cdn_sessions=[cdn_session()],
+        ground_truth=[],
+    )

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.telemetry.io import load_dataset
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "--sessions", "10", "--out", "x", "--abr", "buffer"]
+        )
+        assert args.sessions == 10
+        assert args.abr == "buffer"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestCommands:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in ("fig03", "fig22", "table01", "table04", "table05"):
+            assert experiment_id in output
+
+    def test_simulate_then_analyze_then_findings(self, tmp_path, capsys):
+        out = str(tmp_path / "trace")
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--sessions",
+                    "120",
+                    "--warmup",
+                    "120",
+                    "--seed",
+                    "3",
+                    "--out",
+                    out,
+                ]
+            )
+            == 0
+        )
+        dataset = load_dataset(out)
+        assert dataset.n_sessions == 120
+
+        assert main(["analyze", out]) == 0
+        output = capsys.readouterr().out
+        assert "QoE summary" in output
+        assert "Bottleneck localization" in output
+
+        # tiny cold traces cannot support every finding; the command must
+        # still run to completion and render the report
+        code = main(["findings", out])
+        output = capsys.readouterr().out
+        assert "Key findings:" in output
+        assert code in (0, 1)
+
+    def test_analyze_without_proxy_filter(self, tmp_path, capsys):
+        out = str(tmp_path / "trace")
+        main(["simulate", "--sessions", "60", "--warmup", "0", "--out", out])
+        capsys.readouterr()
+        assert main(["analyze", out, "--no-proxy-filter"]) == 0
+        assert "proxy filter" not in capsys.readouterr().out
+
+    def test_experiment_standalone(self, capsys):
+        assert main(["experiment", "fig13"]) == 0
+        assert "fig13" in capsys.readouterr().out
+
+    def test_experiment_plot_flag(self, capsys):
+        assert main(["experiment", "fig20", "--plot"]) == 0
+        output = capsys.readouterr().out
+        assert "fig20" in output
+        assert "CDF" in output or "x vs y" in output
+
+    def test_experiment_unknown_id(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "fig99"])
+
+    def test_missing_dataset_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["analyze", str(tmp_path / "nope")])
+
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        out = str(tmp_path / "report.md")
+        code = main(["report", "--scale", "tiny", "--out", out])
+        assert code in (0, 1)  # tiny scale may not support every check
+        text = open(out, encoding="utf-8").read()
+        assert text.startswith("# Reproduction report")
+        assert "fig03" in text and "table05" in text
+        assert "experiments pass all checks" in text

@@ -1,0 +1,134 @@
+"""End-to-end integration tests: full pipeline invariants on a simulated
+trace, cross-validating analysis estimates against simulator ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.core import decomposition, downstack, qoe
+from repro.core.proxy_filter import filter_proxies
+from repro.telemetry.io import load_dataset, save_dataset
+
+
+class TestEndToEndInvariants:
+    def test_eq1_decomposition_holds_exactly(self, small_result):
+        """D_FB = D_CDN + D_BE + D_DS + rtt0 must hold against ground truth."""
+        for chunk in small_result.dataset.join_chunks():
+            truth = chunk.truth
+            assert truth is not None
+            reconstructed = (
+                chunk.cdn.d_cdn_ms
+                + chunk.cdn.d_be_ms
+                + truth.true_dds_ms
+                + truth.true_rtt0_ms
+            )
+            assert chunk.player.dfb_ms == pytest.approx(reconstructed, rel=1e-6)
+
+    def test_dlb_relates_to_network_transfer(self, small_result):
+        """Observed D_LB = network D_LB minus any download-stack shift."""
+        for chunk in small_result.dataset.join_chunks():
+            truth = chunk.truth
+            assert chunk.player.dlb_ms <= truth.network_dlb_ms + 1e-6 or (
+                truth.network_dlb_ms < 1.0
+            )
+
+    def test_retx_counters_match_truth(self, small_result):
+        """TCP-layer counters in telemetry must track the simulator's loss."""
+        for session in small_result.dataset.sessions():
+            truth_retx = sum(
+                c.truth.segments_retx for c in session.chunks if c.truth
+            )
+            last_counter = max(
+                (c.last_tcp.retx_total for c in session.chunks if c.last_tcp),
+                default=0,
+            )
+            assert last_counter == truth_retx
+
+    def test_dropped_frames_match_truth(self, small_result):
+        for chunk in small_result.dataset.join_chunks():
+            assert chunk.player.dropped_fraction == pytest.approx(
+                chunk.truth.true_drop_fraction, abs=0.01
+            )
+
+    def test_rebuffer_only_after_startup(self, small_result):
+        for session in small_result.dataset.sessions():
+            if session.chunks and session.chunks[0].chunk_id == 0:
+                assert session.chunks[0].player.rebuffer_count == 0
+
+    def test_wall_clock_ordering(self, small_result):
+        """Requests within a session are strictly ordered in time."""
+        for session in small_result.dataset.sessions():
+            sends = [c.player.request_sent_ms for c in session.chunks]
+            assert all(b > a for a, b in zip(sends[:-1], sends[1:]))
+
+    def test_tcp_snapshots_within_session_window(self, small_result):
+        for session in small_result.dataset.sessions():
+            if not session.chunks:
+                continue
+            start = session.chunks[0].player.request_sent_ms
+            for chunk in session.chunks:
+                for snap in chunk.tcp:
+                    assert snap.t_ms >= start
+
+    def test_cumulative_retx_monotone(self, small_result):
+        for session in small_result.dataset.sessions():
+            last = 0
+            for chunk in session.chunks:
+                for snap in chunk.tcp:
+                    assert snap.retx_total >= last
+                    last = snap.retx_total
+
+
+class TestPipelineOnDisk:
+    def test_full_pipeline_via_disk_round_trip(self, small_result, tmp_path):
+        """Simulate -> persist -> reload -> filter -> analyze: the same
+        pipeline a production deployment would run from logs."""
+        save_dataset(small_result.dataset, tmp_path / "trace")
+        reloaded = load_dataset(tmp_path / "trace")
+        filtered, report = filter_proxies(reloaded)
+        assert report.kept_fraction > 0.7
+        summary = qoe.summarize(filtered)
+        assert summary["n_sessions"] > 1000
+        assert summary["median_startup_ms"] > 100.0
+
+
+class TestEstimatorValidation:
+    """The analysis must recover simulator truth it was never shown."""
+
+    def test_eq5_bound_is_conservative(self, medium_dataset):
+        """The Eq. 5 DS bound must (almost) never exceed the true DS latency
+        by more than measurement slack — it is a *lower* bound."""
+        violations = 0
+        total = 0
+        for chunk in medium_dataset.join_chunks():
+            if chunk.truth is None:
+                continue
+            bound = downstack.persistent_ds_bound_ms(chunk)
+            if bound is None or bound <= 0:
+                continue
+            total += 1
+            if bound > chunk.truth.true_dds_ms + 100.0:
+                violations += 1
+        assert total > 100
+        assert violations / total < 0.10
+
+    def test_platform_ordering_recovered(self, medium_dataset):
+        """The analysis, seeing only telemetry, must recover the platform
+        DS ordering that was baked into the client models."""
+        rows = downstack.platform_ds_table(medium_dataset, min_chunks=30)
+        by_key = {(r.os, r.browser): r for r in rows}
+        bad = by_key.get(("Windows", "Safari"))
+        good = by_key.get(("Windows", "Chrome"))
+        assert bad is not None and good is not None
+        assert bad.expected_ds_ms > 5 * max(good.expected_ds_ms, 0.1)
+
+    def test_baseline_rtt_unbiased_for_quiet_sessions(self, medium_dataset):
+        """For sessions without congestion episodes, srtt_min should sit
+        close to the true minimum request RTT."""
+        errors = []
+        for session in medium_dataset.sessions():
+            truths = [c.truth.true_rtt0_ms for c in session.chunks if c.truth]
+            if len(truths) < 2:
+                continue
+            estimate = decomposition.session_min_rtt(session)
+            errors.append(estimate / min(truths))
+        assert 0.7 < np.median(errors) < 1.5

@@ -1,0 +1,71 @@
+"""Tests for multi-day simulation and real day-boundary recurrence analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import tail_latency_prefixes
+from repro.core.proxy_filter import filter_proxies
+from repro.simulation.config import SimulationConfig
+from repro.simulation.driver import Simulator
+
+DAY_MS = 86_400_000.0
+
+
+@pytest.fixture(scope="module")
+def three_day_result():
+    simulator = Simulator(
+        SimulationConfig(n_sessions=500, warmup_sessions=1000, seed=19)
+    )
+    return simulator.run_days(n_days=3, sessions_per_day=500)
+
+
+class TestRunDays:
+    def test_total_sessions(self, three_day_result):
+        assert three_day_result.dataset.n_sessions == 1500
+
+    def test_sessions_land_in_their_days(self, three_day_result):
+        starts = [s.start_ms for s in three_day_result.dataset.player_sessions]
+        day_counts = np.bincount(
+            [min(int(s // DAY_MS), 2) for s in starts], minlength=3
+        )
+        assert all(count == 500 for count in day_counts)
+
+    def test_session_ids_unique_across_days(self, three_day_result):
+        ids = [s.session_id for s in three_day_result.dataset.player_sessions]
+        assert len(set(ids)) == len(ids)
+
+    def test_caches_persist_across_days(self, three_day_result):
+        """Later days must hit warmer caches than the first measured day."""
+        by_day = {0: [], 1: [], 2: []}
+        session_day = {
+            s.session_id: min(int(s.start_ms // DAY_MS), 2)
+            for s in three_day_result.dataset.player_sessions
+        }
+        for chunk in three_day_result.dataset.cdn_chunks:
+            by_day[session_day[chunk.session_id]].append(
+                chunk.cache_status == "miss"
+            )
+        assert np.mean(by_day[2]) <= np.mean(by_day[0]) + 0.02
+
+    def test_validation(self):
+        simulator = Simulator(SimulationConfig(n_sessions=10, seed=1))
+        with pytest.raises(ValueError):
+            simulator.run_days(0)
+
+
+class TestRecurrenceOnRealDays:
+    def test_tail_prefixes_recur_across_days(self, three_day_result):
+        """§4.2-1: prefixes with structural problems (geography, enterprise
+        paths) must re-appear in the daily tail — recurrence near 1.0."""
+        dataset, _ = filter_proxies(three_day_result.dataset)
+        pop_locations = {
+            p.pop_id: p.location for p in three_day_result.deployment.pops
+        }
+        report = tail_latency_prefixes(dataset, pop_locations, n_days=3)
+        assert report.n_persistent > 0
+        # at test scale most prefixes are only *sampled* on one day; the
+        # recurrence cut must still surface the genuinely recurring ones
+        # and rank them at the top of the persistent set
+        recurring = [p for p, f in report.recurrence.items() if f >= 2.0 / 3.0]
+        assert len(recurring) >= 3
+        assert set(recurring) <= set(report.persistent_prefixes)

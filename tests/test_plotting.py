@@ -1,0 +1,111 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.analysis.plotting import (
+    ascii_bars,
+    ascii_cdf,
+    ascii_series,
+    format_table,
+    render_series_auto,
+)
+
+
+class TestAsciiBars:
+    def test_renders_all_labels(self):
+        chart = ascii_bars(["alpha", "b"], [10.0, 5.0], unit="%")
+        assert "alpha" in chart and "b" in chart
+        assert "10.00%" in chart and "5.00%" in chart
+
+    def test_largest_bar_is_full_width(self):
+        chart = ascii_bars(["big", "small"], [100.0, 1.0], width=20)
+        big_line = next(line for line in chart.splitlines() if "big" in line)
+        assert big_line.count("█") == 20
+
+    def test_zero_values_render(self):
+        chart = ascii_bars(["x"], [0.0])
+        assert "0.00" in chart
+
+    def test_title_included(self):
+        assert ascii_bars(["x"], [1.0], title="My chart").startswith("My chart")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_empty_ok(self):
+        assert ascii_bars([], []) == ""
+
+
+class TestAsciiCdf:
+    def test_contains_curve_points(self):
+        chart = ascii_cdf([1.0, 2.0, 3.0, 10.0])
+        assert "•" in chart
+        assert "1" in chart and "10" in chart  # axis extremes
+
+    def test_log_axis(self):
+        chart = ascii_cdf([1.0, 10.0, 100.0, 1000.0], log_x=True)
+        assert "•" in chart
+
+    def test_log_axis_requires_positive(self):
+        with pytest.raises(ValueError):
+            ascii_cdf([0.0, 0.0], log_x=True)
+
+    def test_empty_samples(self):
+        assert ascii_cdf([]) == "(no samples)"
+
+    def test_dimensions_respected(self):
+        chart = ascii_cdf(list(range(1, 50)), width=30, height=6)
+        body = [line for line in chart.splitlines() if "|" in line]
+        assert len(body) == 6
+
+
+class TestAsciiSeries:
+    def test_plots_points(self):
+        chart = ascii_series([(0, 1.0), (1, 5.0), (2, 2.0)])
+        assert "●" in chart
+        assert "5" in chart
+
+    def test_empty(self):
+        assert ascii_series([]) == "(no points)"
+
+    def test_constant_series(self):
+        chart = ascii_series([(0, 3.0), (1, 3.0)])
+        assert "●" in chart
+
+
+class TestRenderSeriesAuto:
+    def test_numeric_list_becomes_cdf(self):
+        chart = render_series_auto("latency", [float(i) for i in range(20)])
+        assert chart is not None and "CDF" in chart
+
+    def test_pairs_become_series(self):
+        chart = render_series_auto("retx", [(0, 5.0), (1, 1.0), (2, 0.5)])
+        assert chart is not None and "●" in chart
+
+    def test_stat_rows_use_first_two_columns(self):
+        rows = [(0.5, 10.0, 9.0, 8.0, 11.0, 100), (1.5, 5.0, 4.0, 3.0, 6.0, 80)]
+        chart = render_series_auto("binned", rows)
+        assert chart is not None
+
+    def test_none_for_unplottable(self):
+        assert render_series_auto("text", "a string") is None
+        assert render_series_auto("scalar", 4.2) is None
+        assert render_series_auto("empty", []) is None
+        assert render_series_auto("short", [1.0, 2.0]) is None
+        assert render_series_auto("labels", [("a", "b"), ("c", "d")]) is None
+
+    def test_none_y_rows_skipped(self):
+        chart = render_series_auto("cond", [(0, 1.0, None), (1, None, None), (2, 3.0, None)])
+        assert chart is not None  # two usable points remain
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        table = format_table(["name", "v"], [("long-name", 1), ("x", 22)])
+        lines = table.splitlines()
+        assert "-+-" in lines[1]
+        assert all("|" in line for line in (lines[0], lines[2], lines[3]))
+
+    def test_title(self):
+        assert format_table(["a"], [(1,)], title="T").startswith("T")

@@ -1,0 +1,57 @@
+"""Tests for the Table-1 key-findings report harness."""
+
+import pytest
+
+from repro.core.report import FindingCheck, KeyFindingsReport, evaluate_key_findings
+
+
+class TestReportContainer:
+    def test_counts_and_lookup(self):
+        report = KeyFindingsReport(
+            checks=[
+                FindingCheck("A", "claim a", True, {"x": 1.0}),
+                FindingCheck("B", "claim b", False, {"y": 2.0}),
+            ]
+        )
+        assert report.n_passed == 1
+        assert not report.all_passed
+        assert report.by_id("A").passed
+        with pytest.raises(KeyError):
+            report.by_id("C")
+
+    def test_string_rendering(self):
+        report = KeyFindingsReport(
+            checks=[FindingCheck("A", "claim", True, {"x": 1.2345})]
+        )
+        text = str(report)
+        assert "1/1" in text
+        assert "[PASS] A" in text
+
+
+class TestEvaluateOnSimulation:
+    def test_thirteen_findings_with_geography(self, medium_result, medium_dataset):
+        pop_locations = {p.pop_id: p.location for p in medium_result.deployment.pops}
+        report = evaluate_key_findings(medium_dataset, pop_locations)
+        assert len(report.checks) == 13
+        assert report.all_passed, str(report)
+
+    def test_twelve_findings_without_geography(self, medium_dataset):
+        report = evaluate_key_findings(medium_dataset)
+        ids = {c.finding_id for c in report.checks}
+        assert "NET-1" not in ids
+        assert len(report.checks) == 12
+
+    def test_every_check_carries_evidence(self, medium_dataset):
+        report = evaluate_key_findings(medium_dataset)
+        assert all(check.evidence for check in report.checks)
+
+    def test_finding_ids_match_table1_layout(self, medium_dataset):
+        report = evaluate_key_findings(medium_dataset)
+        ids = [c.finding_id for c in report.checks]
+        assert [i for i in ids if i.startswith("CDN")] == [
+            "CDN-1",
+            "CDN-2",
+            "CDN-3",
+            "CDN-4",
+        ]
+        assert len([i for i in ids if i.startswith("CLI")]) == 5

@@ -1,0 +1,178 @@
+"""Unit tests for repro.analysis.stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    BinnedStat,
+    Cdf,
+    binned_stats,
+    coefficient_of_variation,
+    empirical_ccdf,
+    empirical_cdf,
+    iqr,
+    quantile,
+    zipf_weights,
+)
+
+
+class TestEmpiricalCdf:
+    def test_sorted_and_normalized(self):
+        cdf = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(cdf.xs) == [1.0, 2.0, 3.0]
+        assert cdf.ps[-1] == pytest.approx(1.0)
+
+    def test_probabilities_monotone(self):
+        cdf = empirical_cdf(np.random.default_rng(0).normal(size=100))
+        assert np.all(np.diff(cdf.ps) >= 0)
+
+    def test_median_of_odd_sample(self):
+        cdf = empirical_cdf([10.0, 20.0, 30.0])
+        assert cdf.median == 20.0
+
+    def test_value_at_extremes(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.value_at(0.0) == 1.0
+        assert cdf.value_at(1.0) == 4.0
+
+    def test_value_at_rejects_out_of_range(self):
+        cdf = empirical_cdf([1.0])
+        with pytest.raises(ValueError):
+            cdf.value_at(1.5)
+
+    def test_prob_at_interpolates_steps(self):
+        cdf = empirical_cdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.prob_at(2.5) == pytest.approx(0.5)
+        assert cdf.prob_at(0.5) == 0.0
+        assert cdf.prob_at(10.0) == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        cdf = empirical_cdf([])
+        assert len(cdf) == 0
+        with pytest.raises(ValueError):
+            cdf.median  # noqa: B018
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf(xs=np.array([1.0, 2.0]), ps=np.array([1.0]))
+
+
+class TestEmpiricalCcdf:
+    def test_complementary(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        cdf = empirical_cdf(values)
+        ccdf = empirical_ccdf(values)
+        assert ccdf.complementary
+        for x, p in zip(ccdf.xs, ccdf.ps):
+            assert p == pytest.approx(1.0 - cdf.prob_at(x))
+
+    def test_last_point_zero(self):
+        ccdf = empirical_ccdf([5.0, 6.0])
+        assert ccdf.ps[-1] == pytest.approx(0.0)
+
+
+class TestBinnedStats:
+    def test_basic_means(self):
+        stat = binned_stats([0.5, 0.6, 1.5, 1.6], [1, 3, 10, 30], [0, 1, 2])
+        assert len(stat.centers) == 2
+        assert stat.means[0] == pytest.approx(2.0)
+        assert stat.means[1] == pytest.approx(20.0)
+
+    def test_min_count_drops_sparse_bins(self):
+        stat = binned_stats([0.5, 1.5, 1.6], [1, 2, 3], [0, 1, 2], min_count=2)
+        assert len(stat.centers) == 1
+        assert stat.centers[0] == pytest.approx(1.5)
+
+    def test_iqr_ordering(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 10, 500)
+        y = rng.normal(size=500)
+        stat = binned_stats(x, y, np.linspace(0, 10, 6))
+        assert np.all(stat.q25 <= stat.medians)
+        assert np.all(stat.medians <= stat.q75)
+
+    def test_values_outside_bins_ignored(self):
+        stat = binned_stats([-5.0, 0.5, 99.0], [111, 1, 222], [0, 1])
+        assert stat.counts.sum() == 1
+        assert stat.means[0] == pytest.approx(1.0)
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            binned_stats([1], [1], [0])
+        with pytest.raises(ValueError):
+            binned_stats([1], [1], [1, 1])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            binned_stats([1, 2], [1], [0, 1])
+
+    def test_rows_shape(self):
+        stat = binned_stats([0.5, 0.6], [1, 2], [0, 1])
+        rows = stat.rows()
+        assert len(rows) == 1
+        assert len(rows[0]) == 6
+
+
+class TestCoefficientOfVariation:
+    def test_constant_series_is_zero(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # mean 2, population std 1 -> CV = 0.5
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_single_sample_nan(self):
+        assert np.isnan(coefficient_of_variation([1.0]))
+
+    def test_nonpositive_mean_nan(self):
+        assert np.isnan(coefficient_of_variation([-1.0, 1.0]))
+
+    def test_scale_invariance(self):
+        base = [1.0, 2.0, 3.0, 4.0]
+        scaled = [10 * v for v in base]
+        assert coefficient_of_variation(base) == pytest.approx(
+            coefficient_of_variation(scaled)
+        )
+
+
+class TestQuantiles:
+    def test_quantile_median(self):
+        assert quantile([1, 2, 3], 0.5) == 2.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_iqr_pair(self):
+        low, high = iqr(list(range(101)))
+        assert low == pytest.approx(25.0)
+        assert high == pytest.approx(75.0)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(100, 0.8)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        weights = zipf_weights(50, 1.0)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_alpha_zero_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_higher_alpha_more_skew(self):
+        flat = zipf_weights(100, 0.5)
+        steep = zipf_weights(100, 1.5)
+        assert steep[0] > flat[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, 1.0, top_mass_rank=11)

@@ -1,0 +1,345 @@
+"""Unit tests for the workload subpackage: randomness, geo, popularity,
+catalog, clients, sessions."""
+
+import numpy as np
+import pytest
+
+from repro.workload import geo
+from repro.workload.catalog import (
+    CHUNK_DURATION_MS,
+    DEFAULT_BITRATE_LADDER_KBPS,
+    Catalog,
+    Video,
+    chunk_size_bytes,
+    generate_catalog,
+)
+from repro.workload.clients import (
+    PopulationConfig,
+    generate_population,
+)
+from repro.workload.popularity import PopularityModel
+from repro.workload.randomness import (
+    bounded_lognormal,
+    bounded_normal,
+    make_rng,
+    session_rng,
+    spawn,
+    stable_hash64,
+)
+from repro.workload.sessions import SessionGenerator
+
+
+class TestRandomness:
+    def test_stable_hash_deterministic(self):
+        assert stable_hash64("abc") == stable_hash64("abc")
+        assert stable_hash64("abc") != stable_hash64("abd")
+
+    def test_spawn_independent_streams(self):
+        a = spawn(1, "a").random(5)
+        b = spawn(1, "b").random(5)
+        assert not np.allclose(a, b)
+
+    def test_spawn_reproducible(self):
+        assert np.allclose(spawn(1, "x").random(5), spawn(1, "x").random(5))
+
+    def test_session_rng_varies_by_index(self):
+        assert not np.allclose(session_rng(1, 0).random(3), session_rng(1, 1).random(3))
+
+    def test_bounded_lognormal_respects_bounds(self, rng):
+        for _ in range(200):
+            v = bounded_lognormal(rng, 10.0, 2.0, 5.0, 20.0)
+            assert 5.0 <= v <= 20.0
+
+    def test_bounded_lognormal_mean_roughly_right(self, rng):
+        samples = [bounded_lognormal(rng, 50.0, 0.3) for _ in range(2000)]
+        assert 40.0 < np.mean(samples) < 60.0
+
+    def test_bounded_lognormal_nonpositive_mean(self, rng):
+        assert bounded_lognormal(rng, 0.0, 1.0, low=2.0) == 2.0
+
+    def test_bounded_normal_respects_bounds(self, rng):
+        for _ in range(200):
+            assert 0.0 <= bounded_normal(rng, 1.0, 5.0, 0.0, 2.0) <= 2.0
+
+    def test_make_rng_reproducible(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+
+class TestGeo:
+    def test_haversine_zero_distance(self):
+        assert geo.haversine_km(40.0, -74.0, 40.0, -74.0) == 0.0
+
+    def test_haversine_known_distance(self):
+        # New York -> Los Angeles is ~3940 km
+        d = geo.haversine_km(40.71, -74.01, 34.05, -118.24)
+        assert 3800 < d < 4100
+
+    def test_haversine_symmetric(self):
+        d1 = geo.haversine_km(40.0, -74.0, 34.0, -118.0)
+        d2 = geo.haversine_km(34.0, -118.0, 40.0, -74.0)
+        assert d1 == pytest.approx(d2)
+
+    def test_propagation_rtt_linear(self):
+        assert geo.propagation_rtt_ms(1000.0) == pytest.approx(
+            2 * geo.propagation_rtt_ms(500.0)
+        )
+
+    def test_propagation_rtt_rejects_negative(self):
+        with pytest.raises(ValueError):
+            geo.propagation_rtt_ms(-1.0)
+
+    def test_cross_country_rtt_plausible(self):
+        # coast-to-coast RTT should land in the tens of ms
+        rtt = geo.propagation_rtt_ms(4000.0)
+        assert 40.0 < rtt < 120.0
+
+    def test_sample_city_respects_pool(self, rng):
+        for _ in range(20):
+            city = geo.sample_city(rng, geo.INTL_CLIENT_CITIES)
+            assert city.country != "US"
+
+    def test_jittered_point_near_city(self, rng):
+        city = geo.US_POP_CITIES[0]
+        point = geo.jittered_point(rng, city, spread_km=10.0)
+        d = geo.haversine_km(point.lat, point.lon, city.lat, city.lon)
+        assert d < 100.0
+
+    def test_many_countries_available(self):
+        assert len(geo.all_countries()) > 40
+
+    def test_pop_cities_subset_of_client_cities(self):
+        client_names = {c.name for c in geo.US_CLIENT_CITIES}
+        assert all(c.name in client_names for c in geo.US_POP_CITIES)
+
+
+class TestPopularityModel:
+    def test_weights_sum_to_one(self):
+        model = PopularityModel(n_videos=1000, alpha=0.8)
+        assert model.weights.sum() == pytest.approx(1.0)
+
+    def test_sample_ranks_in_range(self, rng):
+        model = PopularityModel(n_videos=100)
+        ranks = model.sample_ranks(rng, 1000)
+        assert ranks.min() >= 0
+        assert ranks.max() < 100
+
+    def test_sampling_matches_weights(self, rng):
+        model = PopularityModel(n_videos=50, alpha=1.0)
+        ranks = model.sample_ranks(rng, 50_000)
+        observed_top = np.mean(ranks == 0)
+        assert observed_top == pytest.approx(model.rank_probability(0), rel=0.15)
+
+    def test_top_fraction_mass_increasing(self):
+        model = PopularityModel(n_videos=1000, alpha=0.8)
+        assert model.top_fraction_mass(0.2) > model.top_fraction_mass(0.1)
+        assert model.top_fraction_mass(1.0) == pytest.approx(1.0)
+
+    def test_paper_skew_statistic(self):
+        # §3: top 10% of videos receive ~66% of playbacks
+        model = PopularityModel(n_videos=10_000, alpha=0.8)
+        assert 0.55 < model.top_fraction_mass(0.10) < 0.75
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PopularityModel(n_videos=0)
+        model = PopularityModel(n_videos=10)
+        with pytest.raises(ValueError):
+            model.top_fraction_mass(0.0)
+        with pytest.raises(ValueError):
+            model.rank_probability(10)
+        with pytest.raises(ValueError):
+            model.sample_ranks(np.random.default_rng(0), -1)
+
+
+class TestCatalog:
+    def test_chunk_size_matches_bitrate(self):
+        # 1000 kbps * 6 s = 6 Mbit = 750 kB
+        assert chunk_size_bytes(1000.0) == 750_000
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            chunk_size_bytes(0.0)
+        with pytest.raises(ValueError):
+            chunk_size_bytes(100.0, duration_ms=0.0)
+
+    def test_video_chunk_count(self):
+        video = Video(video_id=0, rank=0, duration_ms=13_000.0)
+        assert video.n_chunks == 3
+        assert video.chunk_duration_ms(0) == CHUNK_DURATION_MS
+        assert video.chunk_duration_ms(2) == pytest.approx(1000.0)
+
+    def test_video_chunk_index_validation(self):
+        video = Video(video_id=0, rank=0, duration_ms=6000.0)
+        with pytest.raises(ValueError):
+            video.chunk_duration_ms(1)
+
+    def test_last_chunk_bytes_smaller(self):
+        video = Video(video_id=0, rank=0, duration_ms=9_000.0)
+        assert video.chunk_bytes(1, 1000) < video.chunk_bytes(0, 1000)
+
+    def test_generate_catalog_shape(self):
+        catalog = generate_catalog(n_videos=200, seed=1)
+        assert len(catalog) == 200
+        assert catalog[0].video_id == 0
+        assert all(v.rank == v.video_id for v in catalog.videos)
+
+    def test_generate_catalog_reproducible(self):
+        c1 = generate_catalog(n_videos=50, seed=9)
+        c2 = generate_catalog(n_videos=50, seed=9)
+        assert [v.duration_ms for v in c1.videos] == [v.duration_ms for v in c2.videos]
+
+    def test_durations_long_tailed(self):
+        catalog = generate_catalog(n_videos=2000, seed=2)
+        durations = [v.duration_ms for v in catalog.videos]
+        assert min(durations) >= 10_000.0
+        assert max(durations) > 10 * np.median(durations)
+
+    def test_sample_videos_popularity_biased(self, rng):
+        catalog = generate_catalog(n_videos=100, seed=3, zipf_alpha=1.2)
+        ids = catalog.sample_videos(rng, 5000)
+        assert np.mean(ids < 10) > np.mean(ids >= 90)
+
+    def test_catalog_validation(self):
+        with pytest.raises(ValueError):
+            generate_catalog(n_videos=0)
+        with pytest.raises(ValueError):
+            generate_catalog(n_videos=10, bitrates_kbps=())
+        with pytest.raises(ValueError):
+            generate_catalog(n_videos=10, bitrates_kbps=(500, 300))
+
+    def test_mismatched_popularity_rejected(self):
+        videos = [Video(video_id=0, rank=0, duration_ms=6000.0)]
+        with pytest.raises(ValueError):
+            Catalog(videos=videos, popularity=PopularityModel(n_videos=5))
+
+
+class TestPopulation:
+    @pytest.fixture(scope="class")
+    def population(self):
+        return generate_population(PopulationConfig(n_prefixes=800, seed=5))
+
+    def test_size(self, population):
+        assert len(population.prefixes) == 800
+
+    def test_prefix_ids_unique(self, population):
+        ids = [p.prefix_id for p in population.prefixes]
+        assert len(set(ids)) == len(ids)
+
+    def test_enterprise_fraction_near_config(self, population):
+        fraction = np.mean([p.is_enterprise for p in population.prefixes])
+        assert 0.08 < fraction < 0.20
+
+    def test_us_fraction_dominant(self, population):
+        us = np.mean([p.country == "US" for p in population.prefixes])
+        assert us > 0.85
+
+    def test_enterprise_jitter_higher(self, population):
+        ent = [p.jitter_sigma for p in population.prefixes if p.is_enterprise]
+        res = [p.jitter_sigma for p in population.prefixes if not p.is_enterprise]
+        assert np.median(ent) > 3 * np.median(res)
+
+    def test_some_enterprises_have_inflated_paths(self, population):
+        inflations = [
+            p.path_inflation_ms for p in population.prefixes if p.is_enterprise
+        ]
+        assert any(v > 0 for v in inflations)
+        assert all(v == 0 for v in
+                   (p.path_inflation_ms for p in population.prefixes
+                    if not p.is_enterprise))
+
+    def test_proxy_ips_shared_per_org(self, population):
+        by_org = {}
+        for p in population.prefixes:
+            if p.proxy_ip and p.is_enterprise:
+                by_org.setdefault(p.org, set()).add(p.proxy_ip)
+        assert by_org, "expected some proxied enterprise prefixes"
+        for ips in by_org.values():
+            assert len(ips) == 1
+
+    def test_host_ip_in_prefix(self, population):
+        prefix = population.prefixes[0]
+        ip = prefix.host_ip(42)
+        assert ip.startswith(prefix.prefix_id.rsplit(".", 1)[0])
+        with pytest.raises(ValueError):
+            prefix.host_ip(0)
+        with pytest.raises(ValueError):
+            prefix.host_ip(255)
+
+    def test_sample_client_fields(self, population, rng):
+        client = population.sample_client(rng)
+        assert client.cpu_cores in (2, 4, 8)
+        assert 0.0 <= client.cpu_background_load <= 0.95
+        assert client.bandwidth_kbps >= 1000.0
+        assert client.platform.os in ("Windows", "Mac", "Linux")
+
+    def test_transparent_proxy_hides_both_sides(self, population, rng):
+        for _ in range(500):
+            client = population.sample_client(rng)
+            prefix = client.prefix
+            if prefix.behind_proxy and prefix.proxy_transparent:
+                assert client.beacon_ip == client.cdn_visible_ip == prefix.proxy_ip
+                return
+        pytest.skip("no transparent proxy sampled")
+
+    def test_enterprise_proxy_mismatch_visible(self, population, rng):
+        for _ in range(500):
+            client = population.sample_client(rng)
+            prefix = client.prefix
+            if prefix.behind_proxy and not prefix.proxy_transparent:
+                assert client.beacon_ip != client.cdn_visible_ip
+                return
+        pytest.skip("no explicit proxy sampled")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_population(PopulationConfig(n_prefixes=0))
+
+
+class TestSessionGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        catalog = generate_catalog(n_videos=100, seed=11)
+        population = generate_population(PopulationConfig(n_prefixes=200, seed=11))
+        return SessionGenerator(catalog=catalog, population=population, seed=11)
+
+    def test_generates_requested_count(self, generator):
+        plans = generator.generate_list(50)
+        assert len(plans) == 50
+
+    def test_arrivals_increasing(self, generator):
+        plans = generator.generate_list(100)
+        starts = [p.start_ms for p in plans]
+        assert all(b > a for a, b in zip(starts[:-1], starts[1:]))
+
+    def test_session_ids_unique(self, generator):
+        plans = generator.generate_list(100)
+        assert len({p.session_id for p in plans}) == 100
+
+    def test_watch_chunks_within_video(self, generator):
+        for plan in generator.generate_list(200):
+            assert 1 <= plan.watch_chunks <= plan.video.n_chunks
+            assert len(plan.visibility) == plan.watch_chunks
+
+    def test_reproducible(self, generator):
+        a = generator.generate_list(20)
+        b = generator.generate_list(20)
+        assert [p.video.video_id for p in a] == [p.video.video_id for p in b]
+        assert [p.start_ms for p in a] == [p.start_ms for p in b]
+
+    def test_median_session_length_short(self, generator):
+        lengths = [p.watch_chunks for p in generator.generate_list(500)]
+        assert 2 <= np.median(lengths) <= 8
+
+    def test_visibility_mostly_true(self, generator):
+        flags = [v for p in generator.generate_list(300) for v in p.visibility]
+        assert np.mean(flags) > 0.85
+
+    def test_validation(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate_list(-1)
+        with pytest.raises(ValueError):
+            SessionGenerator(
+                catalog=generate_catalog(n_videos=10, seed=0),
+                population=generate_population(PopulationConfig(n_prefixes=10, seed=0)),
+                arrival_rate_per_s=0.0,
+            )
