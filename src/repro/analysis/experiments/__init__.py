@@ -73,15 +73,19 @@ def run_experiment(experiment_id: str, *args, **kwargs) -> ExperimentResult:
     return get_experiment(experiment_id)(*args, **kwargs)
 
 
-def run_all(scale: str = "medium", seed: int = 7) -> dict:
-    """Run the entire suite against one shared simulation; returns {id: result}."""
+def run_all(scale: str = "medium", seed: int = 7, workers: int = 1) -> dict:
+    """Run the entire suite against one shared simulation; returns {id: result}.
+
+    ``workers > 1`` shards the shared simulation across worker processes
+    (identical telemetry under the default ``server`` sharding).
+    """
     results = {}
     for experiment_id in STANDALONE_EXPERIMENTS:
         results[experiment_id] = run_experiment(experiment_id)
-    dataset = common.filtered_dataset(scale, seed)
+    dataset = common.filtered_dataset(scale, seed, workers)
     for experiment_id in DATASET_EXPERIMENTS:
         results[experiment_id] = run_experiment(experiment_id, dataset)
-    sim_result = common.standard_result(scale, seed)
+    sim_result = common.standard_result(scale, seed, workers)
     for experiment_id in RESULT_EXPERIMENTS:
         results[experiment_id] = run_experiment(experiment_id, sim_result)
     return results

@@ -50,15 +50,25 @@ def standard_config(scale: str = "medium", seed: int = 7) -> SimulationConfig:
 
 
 @lru_cache(maxsize=4)
-def standard_result(scale: str = "medium", seed: int = 7) -> SimulationResult:
-    """Run (once per process) and cache the standard simulation."""
-    return Simulator(standard_config(scale, seed)).run()
+def standard_result(scale: str = "medium", seed: int = 7, workers: int = 1) -> SimulationResult:
+    """Run (once per process) and cache the standard simulation.
+
+    ``workers > 1`` shards the simulation across worker processes; the
+    default ``server`` sharding produces the same records as the serial
+    run (canonically ordered), so every experiment sees identical data.
+    """
+    config = standard_config(scale, seed)
+    if workers > 1:
+        from ...simulation.parallel import ParallelSimulator
+
+        return ParallelSimulator(config, workers=workers).run()
+    return Simulator(config).run()
 
 
 @lru_cache(maxsize=4)
-def filtered_dataset(scale: str = "medium", seed: int = 7) -> Dataset:
+def filtered_dataset(scale: str = "medium", seed: int = 7, workers: int = 1) -> Dataset:
     """The standard dataset after §3 proxy filtering."""
-    dataset, _ = filter_proxies(standard_result(scale, seed).dataset)
+    dataset, _ = filter_proxies(standard_result(scale, seed, workers).dataset)
     return dataset
 
 

@@ -44,6 +44,16 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=7)
     sim.add_argument("--videos", type=int, default=150)
     sim.add_argument("--abr", choices=["rate", "buffer", "hybrid"], default="rate")
+    sim.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; >1 shards the run across CPUs with "
+             "identical telemetry (default: 1, the classic serial loop)",
+    )
+    sim.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="S",
+        help="wall-clock budget per shard attempt in seconds; a shard "
+             "exceeding it is killed and retried once (default: none)",
+    )
     sim.add_argument("--out", required=True, help="output dataset directory")
 
     analyze = commands.add_parser("analyze", help="QoE + bottleneck localization")
@@ -61,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--plot", action="store_true", help="render the series as terminal charts"
     )
+    experiment.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the underlying simulation across N worker processes",
+    )
 
     commands.add_parser("list", help="list reproducible paper artifacts")
 
@@ -71,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", choices=["tiny", "small", "medium", "large"], default="small"
     )
     report.add_argument("--out", default=None, help="markdown file (default: stdout)")
+    report.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the underlying simulation across N worker processes",
+    )
     return parser
 
 
@@ -82,14 +100,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_videos=args.videos,
         abr_name=args.abr,
+        workers=args.workers,
+        shard_timeout_s=args.shard_timeout,
     )
-    print(f"simulating {args.sessions} sessions (+{warmup} warmup), seed {args.seed}...")
+    mode = "serially" if args.workers <= 1 else f"on {args.workers} shard workers"
+    print(
+        f"simulating {args.sessions} sessions (+{warmup} warmup), "
+        f"seed {args.seed}, {mode}..."
+    )
     result = simulate(config)
     path = save_dataset(result.dataset, args.out)
     print(
         f"wrote {result.dataset.n_sessions} sessions / "
         f"{result.dataset.n_chunks} chunks to {path}"
     )
+    for report in result.shard_reports:
+        status = "ok" if report.succeeded else f"FAILED ({report.error})"
+        print(
+            f"  shard {report.shard_index}/{report.n_shards}: "
+            f"{report.sessions} sessions on {report.n_servers} servers in "
+            f"{report.wall_time_s:.2f}s, retries={report.retries}, "
+            f"peak_rss={report.peak_rss_bytes / 1e6:.0f} MB [{status}]"
+        )
     return 0
 
 
@@ -148,9 +180,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     experiment_id = args.experiment_id
     if experiment_id in DATASET_EXPERIMENTS:
-        result = run_experiment(experiment_id, common.filtered_dataset(args.scale))
+        result = run_experiment(
+            experiment_id, common.filtered_dataset(args.scale, workers=args.workers)
+        )
     elif experiment_id in RESULT_EXPERIMENTS:
-        result = run_experiment(experiment_id, common.standard_result(args.scale))
+        result = run_experiment(
+            experiment_id, common.standard_result(args.scale, workers=args.workers)
+        )
     else:
         result = run_experiment(experiment_id)
     print(result.format_report())
@@ -166,7 +202,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.experiments import run_all
 
-    results = run_all(scale=args.scale)
+    results = run_all(scale=args.scale, workers=args.workers)
     lines = [
         "# Reproduction report",
         "",

@@ -2,18 +2,36 @@
 
 from .config import SimulationConfig
 from .controlled import ControlledRenderingResult, run_controlled_rendering_experiment
-from .driver import SimulationResult, Simulator, simulate
+from .driver import SimulationResult, Simulator, World, build_world, simulate
 from .engine import EventLoop
+from .parallel import (
+    ParallelSimulator,
+    PeriodSpec,
+    ShardFailedError,
+    ShardReport,
+    execute_periods,
+)
 from .scenarios import SCENARIOS, ScenarioOutcome, run_scenario
 from .session import SessionActor
+from .shard import ShardSpec, shard_of_server, shard_of_session
 
 __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
+    "World",
+    "build_world",
     "simulate",
     "EventLoop",
     "SessionActor",
+    "ParallelSimulator",
+    "PeriodSpec",
+    "ShardFailedError",
+    "ShardReport",
+    "execute_periods",
+    "ShardSpec",
+    "shard_of_server",
+    "shard_of_session",
     "ControlledRenderingResult",
     "run_controlled_rendering_experiment",
     "SCENARIOS",

@@ -69,9 +69,24 @@ class SimulationConfig:
     # -- telemetry ---------------------------------------------------------------
     record_ground_truth: bool = True
 
+    # -- execution ---------------------------------------------------------------
+    # These knobs choose *how* the trace is computed, never *what* it is:
+    # under the default ``server`` sharding the telemetry is identical for
+    # any worker count (see docs/PARALLEL.md for the determinism contract).
+    #: worker processes; 1 = the classic in-process event loop
+    workers: int = 1
+    #: wall-clock budget per shard attempt (seconds); None = no timeout
+    shard_timeout_s: Optional[float] = None
+    #: shard partitioning mode: "server" (exact) or "session" (approximate)
+    shard_by: str = "server"
+
     def __post_init__(self) -> None:
         if self.n_sessions <= 0:
             raise ValueError("n_sessions must be positive")
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ValueError("shard_timeout_s must be positive")
         if self.n_videos <= 0:
             raise ValueError("n_videos must be positive")
         if self.n_servers <= 0:

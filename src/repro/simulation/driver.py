@@ -9,8 +9,8 @@ joined production beacons/logs would have — which the analysis pipeline in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..cdn.mapping import TrafficEngineering
 from ..cdn.pop import Deployment, build_default_deployment
@@ -24,8 +24,47 @@ from ..workload.sessions import SessionGenerator, SessionPlan
 from .config import SimulationConfig
 from .engine import EventLoop
 from .session import SessionActor
+from .shard import ShardSpec
 
-__all__ = ["SimulationResult", "Simulator", "simulate"]
+if TYPE_CHECKING:  # avoid a runtime cycle: parallel.py imports this module
+    from .parallel import ShardReport
+
+__all__ = ["World", "build_world", "SimulationResult", "Simulator", "simulate"]
+
+
+@dataclass
+class World:
+    """The shared simulation world: everything sessions read but never write.
+
+    Building the world is deterministic in the config seed, so shard
+    workers can either rebuild it locally (spawn start method) or inherit
+    it from the parent (fork) — both produce identical objects.  Servers
+    are *not* part of the world: they are the only mutable cross-session
+    state and are owned by exactly one executor (the serial simulator, or
+    one shard).
+    """
+
+    catalog: Catalog
+    population: ClientPopulation
+    deployment: Deployment
+
+
+def build_world(config: SimulationConfig) -> World:
+    """Construct the catalog, client population and CDN deployment."""
+    catalog = generate_catalog(
+        n_videos=config.n_videos,
+        seed=config.seed,
+        zipf_alpha=config.zipf_alpha,
+        bitrates_kbps=config.bitrate_ladder_kbps,
+    )
+    population_config = config.population
+    if population_config.seed != config.seed:
+        population_config = type(population_config)(
+            **{**population_config.__dict__, "seed": config.seed}
+        )
+    population = generate_population(population_config)
+    deployment = build_default_deployment(total_servers=config.n_servers)
+    return World(catalog=catalog, population=population, deployment=deployment)
 
 
 @dataclass
@@ -38,6 +77,8 @@ class SimulationResult:
     deployment: Deployment
     servers: Dict[str, CdnServer]
     config: SimulationConfig
+    #: per-shard execution telemetry; empty for serial runs
+    shard_reports: List["ShardReport"] = field(default_factory=list)
 
     @property
     def fleet_miss_ratio(self) -> float:
@@ -57,22 +98,33 @@ class SimulationResult:
 class Simulator:
     """Reusable simulator: build the world once, run one or more periods."""
 
-    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        shard: Optional[ShardSpec] = None,
+        world: Optional[World] = None,
+        clock_sync: Optional[Callable[[float], float]] = None,
+    ) -> None:
+        """Build the world and the server fleet.
+
+        ``shard`` restricts this simulator to one deterministic slice of the
+        workload (see :mod:`repro.simulation.shard`): only the shard's
+        servers are instantiated/warmed and only its sessions are run.
+        ``world`` injects a prebuilt world (identical to what
+        :func:`build_world` would produce) so fork-based workers skip the
+        rebuild.  ``clock_sync`` is the shard-barrier hook: called with the
+        local clock at period boundaries, it must return the fleet-wide
+        clock (the max across shards), so that a shard's next period starts
+        exactly when the serial run's would.  Serial runs leave it None.
+        """
         self.config = config or SimulationConfig()
         config = self.config
-        self.catalog = generate_catalog(
-            n_videos=config.n_videos,
-            seed=config.seed,
-            zipf_alpha=config.zipf_alpha,
-            bitrates_kbps=config.bitrate_ladder_kbps,
-        )
-        population_config = config.population
-        if population_config.seed != config.seed:
-            population_config = type(population_config)(
-                **{**population_config.__dict__, "seed": config.seed}
-            )
-        self.population = generate_population(population_config)
-        self.deployment = build_default_deployment(total_servers=config.n_servers)
+        self.shard = shard
+        self._clock_sync = clock_sync
+        world = world if world is not None else build_world(config)
+        self.catalog = world.catalog
+        self.population = world.population
+        self.deployment = world.deployment
         self.mapping = TrafficEngineering(
             deployment=self.deployment, strategy=config.mapping_strategy
         )
@@ -80,6 +132,8 @@ class Simulator:
         self.servers: Dict[str, CdnServer] = {}
         for pop in self.deployment.pops:
             for server_id in pop.server_ids:
+                if shard is not None and not shard.owns_server(server_id):
+                    continue
                 self.servers[server_id] = CdnServer(
                     server_id=server_id,
                     backend_rtt_ms=pop.backend_rtt_ms,
@@ -108,6 +162,8 @@ class Simulator:
                 )
                 if decision.pop.pop_id != pop.pop_id:
                     continue
+                if decision.server_id not in self.servers:  # other shard's server
+                    continue
                 server = self.servers[decision.server_id]
                 for bitrate in warm_bitrates:
                     server.prefetch(
@@ -124,6 +180,9 @@ class Simulator:
         """
         config = self.config
         n_sessions = n_sessions if n_sessions is not None else config.n_sessions
+        # Barrier 1: a sharded run may carry clock skew from a previous
+        # period; align on the fleet-wide clock before warming up.
+        self._sync_clock()
         if config.warmup_sessions > 0 and not self._warmed:
             discard = TelemetryCollector(record_ground_truth=False)
             self._clock_ms = self._run_period(
@@ -133,6 +192,9 @@ class Simulator:
                 start_ms=self._clock_ms,
             )
             self._warmed = True
+        # Barrier 2: the measured period starts when the *fleet's* warmup
+        # ends (the serial run's loop end), not when this shard's does.
+        self._sync_clock()
         collector = TelemetryCollector(record_ground_truth=config.record_ground_truth)
         self._clock_ms = self._run_period(
             n_sessions=n_sessions,
@@ -196,6 +258,11 @@ class Simulator:
             config=config,
         )
 
+    def _sync_clock(self) -> None:
+        """Align the local clock with the fleet (no-op for serial runs)."""
+        if self._clock_sync is not None:
+            self._clock_ms = self._clock_sync(self._clock_ms)
+
     def _run_period(
         self,
         n_sessions: int,
@@ -251,10 +318,39 @@ class Simulator:
             return on_chunk
 
         for plan in generator.generate(n_sessions, start_ms=start_ms):
+            if self.shard is not None and not self._owns_plan(plan):
+                continue
             loop.schedule(plan.start_ms, start_session(plan))
         return loop.run()
 
+    def _owns_plan(self, plan: SessionPlan) -> bool:
+        """Does this shard simulate *plan*?
+
+        Every shard regenerates the full session stream (so RNG consumption
+        is independent of the shard count) and keeps only its own slice.
+        In ``server`` mode ownership follows the traffic-engineering
+        assignment, which is a pure function of stable ids — calling it
+        here and again at session start returns the same decision.
+        """
+        shard = self.shard
+        if shard.mode == "session":
+            return shard.owns_session(plan.session_id, server_id="")
+        decision = self.mapping.assign(
+            plan.client.prefix.geo, plan.video.video_id, plan.video.rank, plan.session_id
+        )
+        return decision.server_id in self.servers
+
 
 def simulate(config: Optional[SimulationConfig] = None) -> SimulationResult:
-    """One-shot convenience: build the world and run one collection period."""
+    """One-shot convenience: build the world and run one collection period.
+
+    With ``config.workers > 1`` the run is sharded across worker processes
+    by :class:`~repro.simulation.parallel.ParallelSimulator`; the default
+    serial path is byte-for-byte what it always was.
+    """
+    config = config or SimulationConfig()
+    if config.workers > 1:
+        from .parallel import ParallelSimulator  # local import: avoids a cycle
+
+        return ParallelSimulator(config).run()
     return Simulator(config).run()

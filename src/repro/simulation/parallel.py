@@ -1,0 +1,574 @@
+"""Sharded parallel simulation: partition, execute, synchronize, merge.
+
+The serial :class:`~repro.simulation.driver.Simulator` runs every session on
+one event loop.  :class:`ParallelSimulator` splits the same workload into K
+deterministic shards (see :mod:`repro.simulation.shard`), runs each shard in
+its own worker process with its own event loop and its own slice of the CDN
+fleet, and merges the per-shard telemetry into one canonical
+:class:`~repro.telemetry.dataset.Dataset`.
+
+Determinism contract (``server`` mode, the default): sessions interact only
+through their assigned CDN server, and a server's entire request stream
+stays inside one shard, so the merged dataset's records **equal the serial
+run's records** for the same seed — the only difference is emission order,
+which :meth:`Dataset.merge_all` canonicalizes away.  ``session`` mode trades
+that exactness for finer-grained balance (each shard replicates the fleet
+and caches see ~1/K of the traffic); see docs/PARALLEL.md.
+
+Clock barriers: the serial run starts a measured period when the *fleet's*
+previous phase ends (the event loop's final timestamp), a quantity no shard
+knows locally.  Workers therefore synchronize at period boundaries: each
+sends its local clock to the parent, which replies with the max across
+shards — exactly the serial loop-end time, since the global event sequence
+is the union of the shards'.  The barrier exchanges one float per shard per
+boundary; it is not a data merge.
+
+Fault tolerance: a worker that crashes or exceeds the shard timeout is
+retried once on a fresh process (replaying any barrier rounds it had
+passed — contributions are deterministic, so replays are idempotent).
+Shards that already finished are never re-run; their results are preserved.
+Every shard's execution is summarized in a :class:`ShardReport` (wall time,
+sessions, retries, peak RSS) attached to the
+:class:`~repro.simulation.driver.SimulationResult`.
+
+Multi-period runs (:meth:`ParallelSimulator.run_periods`) execute a list of
+:class:`PeriodSpec` back to back inside each worker, carrying cache state
+across periods exactly as the incident scenarios do serially — this is how
+``repro.simulation.scenarios`` opts in to sharded execution.
+"""
+
+from __future__ import annotations
+
+import importlib
+import itertools
+import multiprocessing as mp
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..cdn.server import CdnServer
+from ..telemetry.dataset import Dataset
+from .config import SimulationConfig
+from .driver import SimulationResult, Simulator, World, build_world
+from .shard import SHARD_MODES, ShardSpec
+
+__all__ = [
+    "ShardReport",
+    "ShardFailedError",
+    "PeriodSpec",
+    "execute_periods",
+    "ParallelSimulator",
+]
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Execution telemetry for one shard (observability, not simulation data)."""
+
+    shard_index: int
+    n_shards: int
+    mode: str
+    #: measured sessions this shard simulated (across all periods)
+    sessions: int
+    #: CDN servers instantiated by this shard
+    n_servers: int
+    #: wall-clock seconds of the successful attempt (0.0 if the shard failed)
+    wall_time_s: float
+    #: failed attempts before the one that produced the result
+    retries: int
+    #: worker peak resident set size in bytes (0 if unavailable)
+    peak_rss_bytes: int
+    worker_pid: int
+    succeeded: bool = True
+    error: Optional[str] = None
+
+
+class ShardFailedError(RuntimeError):
+    """A shard failed its initial attempt and its retry."""
+
+    def __init__(self, shard_index: int, reason: str) -> None:
+        super().__init__(f"shard {shard_index} failed after retry: {reason}")
+        self.shard_index = shard_index
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class PeriodSpec:
+    """One collection period of a (possibly multi-period) run.
+
+    Consecutive periods execute on the same worker, so cache state carries
+    over exactly as it does for the serial incident scenarios.  A period
+    whose ``config`` differs from the previous period's gets a fresh
+    :class:`Simulator` that (with ``carry_fleet``) inherits the previous
+    period's warmed servers and deployment — the flash-crowd pattern.
+
+    ``mutation`` names a module-level callable as ``"pkg.module:function"``
+    invoked as ``fn(simulator, *mutation_args)`` before the period runs
+    (e.g. flushing caches).  It is a string, not a callable, so the spec
+    stays picklable under any multiprocessing start method.
+    """
+
+    config: SimulationConfig
+    n_sessions: Optional[int] = None
+    start_ms: float = 0.0
+    label: str = ""
+    mutation: Optional[str] = None
+    mutation_args: Tuple[Any, ...] = ()
+    carry_fleet: bool = True
+
+
+def _resolve_mutation(ref: str):
+    module_name, _, attr = ref.partition(":")
+    if not module_name or not attr:
+        raise ValueError(f"mutation must look like 'pkg.module:function', got {ref!r}")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def execute_periods(
+    periods: Sequence[PeriodSpec],
+    shard: Optional[ShardSpec] = None,
+    world: Optional[World] = None,
+    clock_sync: Optional[Callable[[float], float]] = None,
+) -> Tuple[List[Dataset], Simulator]:
+    """Run *periods* back to back on one (optionally sharded) simulator.
+
+    This is the single execution path shared by the serial scenario runner
+    (``shard=None``) and the shard workers, so both produce identical
+    per-server request streams.  Returns one dataset per period plus the
+    final simulator (whose servers hold the end-of-run cache state).
+    """
+    if not periods:
+        raise ValueError("periods must be non-empty")
+    simulator: Optional[Simulator] = None
+    datasets: List[Dataset] = []
+    for spec in periods:
+        if simulator is None:
+            simulator = Simulator(
+                spec.config, shard=shard, world=world, clock_sync=clock_sync
+            )
+        elif spec.config != simulator.config:
+            successor = Simulator(spec.config, shard=shard, clock_sync=clock_sync)
+            if spec.carry_fleet:
+                successor.servers = simulator.servers
+                successor.deployment = simulator.deployment
+            simulator = successor
+        if spec.mutation is not None:
+            _resolve_mutation(spec.mutation)(simulator, *spec.mutation_args)
+        datasets.append(simulator.run(spec.n_sessions, start_ms=spec.start_ms).dataset)
+    return datasets, simulator
+
+
+# -- worker side -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything a worker needs, pickled across the process boundary."""
+
+    shard: ShardSpec
+    periods: Tuple[PeriodSpec, ...]
+    world: Optional[World]
+    attempt: int
+    #: chaos hook (tests): crash immediately while attempt < fail_attempts
+    fail_attempts: int = 0
+
+
+def _peak_rss_bytes() -> int:
+    try:
+        import resource
+
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        scale = 1 if os.uname().sysname == "Darwin" else 1024
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * scale
+    except Exception:
+        return 0
+
+
+def _make_clock_sync(conn) -> Callable[[float], float]:
+    """Worker-side barrier: send the local clock, wait for the fleet max."""
+    rounds = itertools.count()
+
+    def sync(clock_ms: float) -> float:
+        conn.send({"sync": next(rounds), "clock_ms": clock_ms})
+        return float(conn.recv())
+
+    return sync
+
+
+def _shard_worker_main(task: _ShardTask, conn) -> None:
+    """Worker entry point: execute one shard and ship the results back."""
+    if task.attempt < task.fail_attempts:
+        os._exit(23)  # injected crash (tests): die before producing anything
+    try:
+        started = time.perf_counter()
+        datasets, simulator = execute_periods(
+            task.periods,
+            shard=task.shard,
+            world=task.world,
+            clock_sync=_make_clock_sync(conn),
+        )
+        conn.send(
+            {
+                "datasets": datasets,
+                "servers": simulator.servers,
+                "sessions": sum(d.n_sessions for d in datasets),
+                "wall_time_s": time.perf_counter() - started,
+                "peak_rss_bytes": _peak_rss_bytes(),
+                "pid": os.getpid(),
+            }
+        )
+    except Exception:
+        conn.send({"error": traceback.format_exc(), "pid": os.getpid()})
+    finally:
+        conn.close()
+
+
+# -- parent side -------------------------------------------------------------
+
+
+@dataclass
+class _Running:
+    proc: Any
+    conn: Any
+    started_monotonic: float
+    attempt: int
+
+
+@dataclass
+class _SyncRound:
+    """One barrier round: per-shard clocks in, one fleet clock out."""
+
+    clocks: Dict[int, float]
+    waiting: Dict[int, Any]  # shard index -> conn blocked on this round
+    result: Optional[float] = None
+
+
+class ParallelSimulator:
+    """Run one simulated workload as K deterministic shards in parallel.
+
+    Parameters default from the config's execution knobs so that
+    ``ParallelSimulator(config)`` honours ``config.workers`` /
+    ``config.shard_timeout_s`` / ``config.shard_by``; explicit arguments
+    override.  ``fail_shard_attempts`` maps shard index → number of
+    attempts to crash deliberately (fault-injection for tests).
+
+    The shard timeout bounds wall-clock per attempt, measured from launch
+    and refreshed whenever the shard demonstrates progress (a barrier
+    message) or is released from a barrier it was blocked on.
+    """
+
+    #: one retry per shard: a crashed/hung shard gets exactly one fresh worker
+    MAX_ATTEMPTS = 2
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        workers: Optional[int] = None,
+        shard_by: Optional[str] = None,
+        shard_timeout_s: Optional[float] = None,
+        mp_context: Optional[str] = None,
+        allow_partial: bool = False,
+        fail_shard_attempts: Optional[Dict[int, int]] = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.workers = workers if workers is not None else self.config.workers
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        self.shard_by = shard_by if shard_by is not None else self.config.shard_by
+        if self.shard_by not in SHARD_MODES:
+            raise ValueError(
+                f"unknown shard_by {self.shard_by!r}; choose from {SHARD_MODES}"
+            )
+        self.shard_timeout_s = (
+            shard_timeout_s if shard_timeout_s is not None else self.config.shard_timeout_s
+        )
+        method = mp_context or (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        self._ctx = mp.get_context(method)
+        self.allow_partial = allow_partial
+        self._fail_shard_attempts = dict(fail_shard_attempts or {})
+        #: shard count == worker count: every worker owns exactly one shard
+        self.n_shards = self.workers
+
+    # -- public API ----------------------------------------------------------
+
+    def run(
+        self, n_sessions: Optional[int] = None, start_ms: float = 0.0
+    ) -> SimulationResult:
+        """Sharded equivalent of :meth:`Simulator.run`.
+
+        The returned dataset is canonically ordered; under ``server``
+        sharding its records equal ``Simulator(config).run()``'s for the
+        same seed.  ``result.servers`` is the union of the shards' fleets
+        (disjoint in ``server`` mode; replica keys are suffixed with
+        ``@s<shard>`` in ``session`` mode).
+        """
+        world = build_world(self.config)
+        period = PeriodSpec(config=self.config, n_sessions=n_sessions, start_ms=start_ms)
+        datasets, servers, reports = self._run_sharded((period,), world)
+        return SimulationResult(
+            dataset=datasets[0],
+            catalog=world.catalog,
+            population=world.population,
+            deployment=world.deployment,
+            servers=servers,
+            config=self.config,
+            shard_reports=reports,
+        )
+
+    def run_periods(
+        self, periods: Sequence[PeriodSpec]
+    ) -> Tuple[List[Dataset], Dict[str, CdnServer], List[ShardReport]]:
+        """Run several consecutive periods sharded; one merged dataset each.
+
+        Cache state carries across periods *within* each worker, mirroring
+        the serial scenario runner.  Returns (datasets, merged fleet,
+        shard reports).
+        """
+        if not periods:
+            raise ValueError("periods must be non-empty")
+        world = build_world(periods[0].config)
+        return self._run_sharded(tuple(periods), world)
+
+    # -- orchestration -------------------------------------------------------
+
+    def _run_sharded(
+        self, periods: Tuple[PeriodSpec, ...], world: World
+    ) -> Tuple[List[Dataset], Dict[str, CdnServer], List[ShardReport]]:
+        outputs: Dict[int, Dict[str, Any]] = {}
+        reports: Dict[int, ShardReport] = {}
+        pending = deque(range(self.n_shards))
+        attempts: Dict[int, int] = {index: 0 for index in range(self.n_shards)}
+        running: Dict[int, _Running] = {}
+        rounds: Dict[int, _SyncRound] = {}
+        active: Set[int] = set(range(self.n_shards))
+        try:
+            while pending or running:
+                while pending and len(running) < self.workers:
+                    index = pending.popleft()
+                    running[index] = self._launch(index, attempts[index], periods, world)
+                self._reap(running, outputs, reports, pending, attempts, rounds, active)
+        finally:
+            for state in running.values():
+                self._kill(state)
+        merged = [
+            Dataset.merge_all(
+                (outputs[index]["datasets"][p] for index in sorted(outputs)),
+                canonicalize=True,
+            )
+            for p in range(len(periods))
+        ]
+        servers: Dict[str, CdnServer] = {}
+        for index in sorted(outputs):
+            for server_id, server in outputs[index]["servers"].items():
+                key = server_id if self.shard_by == "server" else f"{server_id}@s{index}"
+                servers[key] = server
+        return merged, servers, [reports[index] for index in sorted(reports)]
+
+    def _launch(
+        self, index: int, attempt: int, periods: Tuple[PeriodSpec, ...], world: World
+    ) -> _Running:
+        task = _ShardTask(
+            shard=ShardSpec(index=index, n_shards=self.n_shards, mode=self.shard_by),
+            periods=periods,
+            world=world,
+            attempt=attempt,
+            fail_attempts=self._fail_shard_attempts.get(index, 0),
+        )
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_shard_worker_main, args=(task, child_conn), daemon=True
+        )
+        proc.start()
+        child_conn.close()  # keep only the child's handle: EOF signals its death
+        return _Running(
+            proc=proc, conn=parent_conn, started_monotonic=time.monotonic(), attempt=attempt
+        )
+
+    def _reap(
+        self,
+        running: Dict[int, _Running],
+        outputs: Dict[int, Dict[str, Any]],
+        reports: Dict[int, ShardReport],
+        pending: deque,
+        attempts: Dict[int, int],
+        rounds: Dict[int, _SyncRound],
+        active: Set[int],
+    ) -> None:
+        """Wait for one event (message, crash, or timeout) and process it."""
+        timeout = None
+        if self.shard_timeout_s is not None:
+            now = time.monotonic()
+            nearest = min(
+                state.started_monotonic + self.shard_timeout_s
+                for state in running.values()
+            )
+            timeout = max(0.0, nearest - now)
+        ready = set(
+            mp_connection.wait([state.conn for state in running.values()], timeout)
+        )
+        now = time.monotonic()
+        for index in list(running):
+            state = running[index]
+            if state.conn in ready:
+                try:
+                    payload = state.conn.recv()
+                except (EOFError, OSError):
+                    payload = None  # died before sending anything
+                if payload is not None and "sync" in payload:
+                    state.started_monotonic = now  # barrier message = progress
+                    self._handle_sync(
+                        index, state, payload, running, rounds, active
+                    )
+                    continue
+                state.conn.close()
+                state.proc.join()
+                del running[index]
+                if payload is None:
+                    self._handle_failure(
+                        index,
+                        state,
+                        f"worker crashed (exit code {state.proc.exitcode})",
+                        reports,
+                        pending,
+                        attempts,
+                        running,
+                        rounds,
+                        active,
+                    )
+                elif "error" in payload:
+                    self._handle_failure(
+                        index,
+                        state,
+                        payload["error"],
+                        reports,
+                        pending,
+                        attempts,
+                        running,
+                        rounds,
+                        active,
+                    )
+                else:
+                    outputs[index] = payload
+                    reports[index] = ShardReport(
+                        shard_index=index,
+                        n_shards=self.n_shards,
+                        mode=self.shard_by,
+                        sessions=payload["sessions"],
+                        n_servers=len(payload["servers"]),
+                        wall_time_s=payload["wall_time_s"],
+                        retries=state.attempt,
+                        peak_rss_bytes=payload["peak_rss_bytes"],
+                        worker_pid=payload["pid"],
+                    )
+            elif (
+                self.shard_timeout_s is not None
+                and now - state.started_monotonic > self.shard_timeout_s
+            ):
+                self._kill(state)
+                del running[index]
+                self._handle_failure(
+                    index,
+                    state,
+                    f"shard exceeded timeout of {self.shard_timeout_s:g}s",
+                    reports,
+                    pending,
+                    attempts,
+                    running,
+                    rounds,
+                    active,
+                )
+
+    def _handle_sync(
+        self,
+        index: int,
+        state: _Running,
+        payload: Dict[str, Any],
+        running: Dict[int, _Running],
+        rounds: Dict[int, _SyncRound],
+        active: Set[int],
+    ) -> None:
+        number = payload["sync"]
+        sync_round = rounds.setdefault(number, _SyncRound(clocks={}, waiting={}))
+        sync_round.clocks[index] = payload["clock_ms"]
+        if sync_round.result is not None:
+            # a retried shard replaying a completed barrier: answer directly
+            state.conn.send(sync_round.result)
+            return
+        sync_round.waiting[index] = state.conn
+        self._complete_rounds(rounds, running, active)
+
+    def _complete_rounds(
+        self,
+        rounds: Dict[int, _SyncRound],
+        running: Dict[int, _Running],
+        active: Set[int],
+    ) -> None:
+        """Resolve every barrier round all active shards have reached."""
+        now = time.monotonic()
+        for sync_round in rounds.values():
+            if sync_round.result is not None or not active:
+                continue
+            if not active <= set(sync_round.clocks):
+                continue
+            sync_round.result = max(sync_round.clocks[i] for i in sync_round.clocks)
+            for waiter_index, conn in sync_round.waiting.items():
+                conn.send(sync_round.result)
+                if waiter_index in running:  # barrier wait is not the shard's fault
+                    running[waiter_index].started_monotonic = now
+            sync_round.waiting.clear()
+
+    def _handle_failure(
+        self,
+        index: int,
+        state: _Running,
+        reason: str,
+        reports: Dict[int, ShardReport],
+        pending: deque,
+        attempts: Dict[int, int],
+        running: Dict[int, _Running],
+        rounds: Dict[int, _SyncRound],
+        active: Set[int],
+    ) -> None:
+        for sync_round in rounds.values():  # drop its stale barrier handle
+            sync_round.waiting.pop(index, None)
+        if state.attempt + 1 < self.MAX_ATTEMPTS:
+            attempts[index] = state.attempt + 1
+            pending.append(index)  # fresh worker, same deterministic shard
+            return
+        if not self.allow_partial:
+            raise ShardFailedError(index, reason)
+        active.discard(index)
+        # barriers may now be resolvable without the lost shard
+        self._complete_rounds(rounds, running, active)
+        reports[index] = ShardReport(
+            shard_index=index,
+            n_shards=self.n_shards,
+            mode=self.shard_by,
+            sessions=0,
+            n_servers=0,
+            wall_time_s=0.0,
+            retries=state.attempt,
+            peak_rss_bytes=0,
+            worker_pid=state.proc.pid or 0,
+            succeeded=False,
+            error=reason,
+        )
+
+    @staticmethod
+    def _kill(state: _Running) -> None:
+        try:
+            state.conn.close()
+        except OSError:
+            pass
+        if state.proc.is_alive():
+            state.proc.terminate()
+            state.proc.join(5.0)
+            if state.proc.is_alive():
+                state.proc.kill()
+                state.proc.join(5.0)

@@ -1,9 +1,13 @@
 """Incident scenarios: canned what-if studies on the simulated platform.
 
-Each scenario runs a *baseline* period and an *incident* period on one
-:class:`~repro.simulation.driver.Simulator` (cache state carries over, as
-in production) and returns both datasets so
-:func:`repro.core.comparison.compare_datasets` can quantify the damage.
+Each scenario is declared as two :class:`~repro.simulation.parallel.PeriodSpec`
+periods — a *baseline* and an *incident* — executed back to back on one
+fleet (cache state carries over, as in production) and returns both
+datasets so :func:`repro.core.comparison.compare_datasets` can quantify the
+damage.  The same period list drives both execution paths: the classic
+serial run, and — with ``workers > 1`` — the sharded parallel runner, which
+keeps each CDN server's request stream inside one worker so the telemetry
+is identical (see docs/PARALLEL.md).
 
 Scenarios:
 
@@ -17,13 +21,14 @@ Scenarios:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..cdn.cache import TwoLevelCache
 from ..telemetry.dataset import Dataset
 from .config import SimulationConfig
-from .driver import SimulationResult, Simulator
+from .driver import Simulator
+from .parallel import ParallelSimulator, PeriodSpec, ShardReport, execute_periods
 
 __all__ = ["ScenarioOutcome", "SCENARIOS", "run_scenario"]
 
@@ -35,69 +40,116 @@ class ScenarioOutcome:
     name: str
     baseline: Dataset
     incident: Dataset
-    simulator: Simulator
+    #: the serial simulator (end-of-run fleet state); None for sharded runs
+    simulator: Optional[Simulator]
+    #: per-shard execution telemetry; empty for serial runs
+    shard_reports: List[ShardReport] = field(default_factory=list)
 
 
 def _default_config(seed: int) -> SimulationConfig:
     return SimulationConfig(n_sessions=800, warmup_sessions=1600, seed=seed)
 
 
-def _run_flash_crowd(seed: int) -> ScenarioOutcome:
-    """Arrivals triple and concentrate on a 10-title hot set."""
-    simulator = Simulator(_default_config(seed))
-    baseline = simulator.run().dataset
-    # incident: same fleet/caches, hotter and narrower demand
-    crowd_config = simulator.config.with_overrides(
-        arrival_rate_per_s=simulator.config.arrival_rate_per_s * 3.0,
-        zipf_alpha=1.6,  # interest collapses onto the head
-        n_videos=10,
-        warmup_sessions=0,
-        seed=seed + 1,
-    )
-    crowd = Simulator(crowd_config)
-    crowd.servers = simulator.servers  # keep the warmed fleet
-    crowd.deployment = simulator.deployment
-    incident = crowd.run().dataset
-    return ScenarioOutcome("flash-crowd", baseline, incident, simulator)
+# -- period mutations (referenced by name so shard workers can import them) --
 
 
-def _run_cache_flush(seed: int) -> ScenarioOutcome:
-    """All caches restart cold between the two periods."""
-    simulator = Simulator(_default_config(seed))
-    baseline = simulator.run().dataset
+def _flush_caches(simulator: Simulator) -> None:
+    """All caches restart cold (deploy/restart)."""
     for server in simulator.servers.values():
         server.cache = TwoLevelCache(
             server.config.ram_capacity_bytes,
             server.config.disk_capacity_bytes,
             server.config.policy_name,
         )
-    incident = simulator.run().dataset
-    return ScenarioOutcome("cache-flush", baseline, incident, simulator)
 
 
-def _run_backend_brownout(seed: int, slowdown: float = 8.0) -> ScenarioOutcome:
+def _slow_backend(simulator: Simulator, slowdown: float) -> None:
     """The origin's service time multiplies (storage degradation)."""
-    simulator = Simulator(_default_config(seed))
-    baseline = simulator.run().dataset
     for server in simulator.servers.values():
         server.backend.service_mean_ms *= slowdown
-    incident = simulator.run().dataset
-    return ScenarioOutcome("backend-brownout", baseline, incident, simulator)
 
 
-SCENARIOS: Dict[str, Callable[[int], ScenarioOutcome]] = {
-    "flash-crowd": _run_flash_crowd,
-    "cache-flush": _run_cache_flush,
-    "backend-brownout": _run_backend_brownout,
+# -- scenario declarations ---------------------------------------------------
+
+
+def _periods_flash_crowd(seed: int) -> List[PeriodSpec]:
+    """Arrivals triple and concentrate on a 10-title hot set."""
+    base = _default_config(seed)
+    crowd = base.with_overrides(
+        arrival_rate_per_s=base.arrival_rate_per_s * 3.0,
+        zipf_alpha=1.6,  # interest collapses onto the head
+        n_videos=10,
+        warmup_sessions=0,
+        seed=seed + 1,
+    )
+    # the incident keeps the warmed fleet (carry_fleet) under hotter demand
+    return [
+        PeriodSpec(config=base, label="baseline"),
+        PeriodSpec(config=crowd, label="incident"),
+    ]
+
+
+def _periods_cache_flush(seed: int) -> List[PeriodSpec]:
+    """All caches restart cold between the two periods."""
+    base = _default_config(seed)
+    return [
+        PeriodSpec(config=base, label="baseline"),
+        PeriodSpec(
+            config=base,
+            label="incident",
+            mutation="repro.simulation.scenarios:_flush_caches",
+        ),
+    ]
+
+
+def _periods_backend_brownout(seed: int, slowdown: float = 8.0) -> List[PeriodSpec]:
+    """The origin's service time multiplies (storage degradation)."""
+    base = _default_config(seed)
+    return [
+        PeriodSpec(config=base, label="baseline"),
+        PeriodSpec(
+            config=base,
+            label="incident",
+            mutation="repro.simulation.scenarios:_slow_backend",
+            mutation_args=(slowdown,),
+        ),
+    ]
+
+
+SCENARIOS: Dict[str, Callable[[int], List[PeriodSpec]]] = {
+    "flash-crowd": _periods_flash_crowd,
+    "cache-flush": _periods_cache_flush,
+    "backend-brownout": _periods_backend_brownout,
 }
 
 
-def run_scenario(name: str, seed: int = 29) -> ScenarioOutcome:
-    """Run a named scenario; returns baseline + incident telemetry."""
+def run_scenario(
+    name: str,
+    seed: int = 29,
+    workers: int = 1,
+    shard_timeout_s: Optional[float] = None,
+) -> ScenarioOutcome:
+    """Run a named scenario; returns baseline + incident telemetry.
+
+    ``workers > 1`` executes both periods sharded across worker processes
+    (each worker carries its slice of the fleet through baseline and
+    incident); the datasets are canonically ordered and, under the default
+    ``server`` sharding, identical to the serial run's records.
+    """
     try:
-        runner = SCENARIOS[name]
+        builder = SCENARIOS[name]
     except KeyError:
         raise ValueError(
             f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
         ) from None
-    return runner(seed)
+    periods = builder(seed)
+    if workers <= 1:
+        datasets, simulator = execute_periods(periods)
+        return ScenarioOutcome(name, datasets[0], datasets[1], simulator)
+    runner = ParallelSimulator(
+        periods[0].config, workers=workers, shard_timeout_s=shard_timeout_s
+    )
+    datasets, _servers, reports = runner.run_periods(periods)
+    return ScenarioOutcome(
+        name, datasets[0], datasets[1], simulator=None, shard_reports=reports
+    )

@@ -235,13 +235,55 @@ class Dataset:
             ground_truth=[r for r in self.ground_truth if r.session_id in keep],
         )
 
-    def merge(self, other: "Dataset") -> "Dataset":
-        """Concatenate two datasets (e.g. multiple simulated days)."""
-        return Dataset(
+    def merge(self, other: "Dataset", canonicalize: bool = False) -> "Dataset":
+        """Concatenate two datasets (e.g. multiple simulated days).
+
+        With ``canonicalize=True`` the merged record lists are put in the
+        canonical (session, chunk, time) order of :meth:`sorted`, so that
+        datasets collected by differently-partitioned runs of the same
+        workload compare equal with ``==``.
+        """
+        merged = Dataset(
             player_chunks=self.player_chunks + other.player_chunks,
             cdn_chunks=self.cdn_chunks + other.cdn_chunks,
             tcp_snapshots=self.tcp_snapshots + other.tcp_snapshots,
             player_sessions=self.player_sessions + other.player_sessions,
             cdn_sessions=self.cdn_sessions + other.cdn_sessions,
             ground_truth=self.ground_truth + other.ground_truth,
+        )
+        return merged.sorted() if canonicalize else merged
+
+    @classmethod
+    def merge_all(cls, datasets: Iterable["Dataset"], canonicalize: bool = True) -> "Dataset":
+        """Merge any number of datasets; canonically ordered by default.
+
+        This is the merge the sharded runner uses: shard outputs arrive in
+        nondeterministic completion order, and canonicalization makes the
+        result independent of both that order and the shard count.
+        """
+        merged = cls()
+        for dataset in datasets:
+            merged = merged.merge(dataset)
+        return merged.sorted() if canonicalize else merged
+
+    def sorted(self) -> "Dataset":
+        """A copy with every record list in canonical order.
+
+        Per-chunk records sort by (session, chunk), TCP snapshots by
+        (session, chunk, time), per-session records by session.  Sorting is
+        stable, so records sharing a key keep their emission order.  Two
+        runs of the same seeded workload that differ only in how sessions
+        were interleaved (serial event loop vs. merged shards) become
+        ``==``-comparable after canonicalization.
+        """
+        by_chunk = lambda r: (r.session_id, r.chunk_id)  # noqa: E731
+        return Dataset(
+            player_chunks=sorted(self.player_chunks, key=by_chunk),
+            cdn_chunks=sorted(self.cdn_chunks, key=by_chunk),
+            tcp_snapshots=sorted(
+                self.tcp_snapshots, key=lambda r: (r.session_id, r.chunk_id, r.t_ms)
+            ),
+            player_sessions=sorted(self.player_sessions, key=lambda r: r.session_id),
+            cdn_sessions=sorted(self.cdn_sessions, key=lambda r: r.session_id),
+            ground_truth=sorted(self.ground_truth, key=by_chunk),
         )

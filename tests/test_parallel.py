@@ -1,0 +1,192 @@
+"""Sharded parallel runner: determinism, merge canonicalization, fault tolerance.
+
+The contract under test (docs/PARALLEL.md): for a fixed seed, the merged
+dataset of ``ParallelSimulator(workers=K)`` equals the serial
+``Simulator`` dataset record-for-record (canonical order), for any K, and
+a crashed worker is retried once on a fresh process without changing the
+result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.simulation.config import SimulationConfig
+from repro.simulation.driver import Simulator, simulate
+from repro.simulation.parallel import (
+    ParallelSimulator,
+    PeriodSpec,
+    ShardFailedError,
+    execute_periods,
+)
+from repro.simulation.shard import ShardSpec, partition_server_ids, shard_of_server
+from repro.telemetry.io import load_dataset
+
+
+def _config(**overrides) -> SimulationConfig:
+    """The reference workload: small but exercises warmup + cache warming."""
+    defaults = dict(
+        n_sessions=150,
+        warmup_sessions=100,
+        seed=11,
+        warm_first_chunks=True,
+        prefetch_after_miss=True,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return Simulator(_config()).run()
+
+
+@pytest.fixture(scope="module")
+def parallel_result():
+    return ParallelSimulator(_config(), workers=4).run()
+
+
+class TestShardSpec:
+    def test_partition_is_complete_and_disjoint(self):
+        server_ids = [f"srv-{i:03d}" for i in range(40)]
+        shards = partition_server_ids(server_ids, n_shards=4)
+        assert len(shards) == 4
+        seen = [sid for part in shards for sid in part]
+        assert sorted(seen) == sorted(server_ids)
+        assert len(seen) == len(set(seen))
+
+    def test_assignment_is_stable(self):
+        assert shard_of_server("srv-001", 4) == shard_of_server("srv-001", 4)
+
+    def test_ownership_matches_hash(self):
+        for n_shards in (2, 3, 5):
+            spec = ShardSpec(index=1, n_shards=n_shards)
+            for sid in ("srv-000", "srv-017", "edge-9"):
+                assert spec.owns_server(sid) == (shard_of_server(sid, n_shards) == 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardSpec(index=3, n_shards=3)
+        with pytest.raises(ValueError):
+            ShardSpec(index=0, n_shards=0)
+        with pytest.raises(ValueError):
+            ShardSpec(index=0, n_shards=2, mode="by-coin-flip")
+
+
+class TestSerialParallelEquality:
+    def test_four_shards_equal_serial(self, serial_result, parallel_result):
+        serial = serial_result.dataset.sorted()
+        parallel = parallel_result.dataset
+        assert serial.n_sessions == parallel.n_sessions
+        assert serial.n_chunks == parallel.n_chunks
+        # record-level equality, table by table (frozen dataclass ==)
+        assert serial.player_sessions == parallel.player_sessions
+        assert serial.player_chunks == parallel.player_chunks
+        assert serial.cdn_sessions == parallel.cdn_sessions
+        assert serial.cdn_chunks == parallel.cdn_chunks
+        assert serial.tcp_snapshots == parallel.tcp_snapshots
+        assert serial.ground_truth == parallel.ground_truth
+
+    def test_shard_count_invariance(self, parallel_result):
+        two = ParallelSimulator(_config(), workers=2).run()
+        assert two.dataset == parallel_result.dataset
+
+    def test_server_fleet_union_matches_serial(self, serial_result, parallel_result):
+        assert set(parallel_result.servers) == set(serial_result.servers)
+        assert parallel_result.fleet_miss_ratio == serial_result.fleet_miss_ratio
+
+    def test_shard_reports_cover_all_sessions(self, parallel_result):
+        reports = parallel_result.shard_reports
+        assert [r.shard_index for r in reports] == [0, 1, 2, 3]
+        assert all(r.succeeded and r.retries == 0 for r in reports)
+        assert all(r.mode == "server" for r in reports)
+        assert sum(r.sessions for r in reports) == parallel_result.dataset.n_sessions
+        assert sum(r.n_servers for r in reports) == len(parallel_result.servers)
+
+    def test_simulate_dispatches_on_config_workers(self, parallel_result):
+        result = simulate(_config(workers=2))
+        assert result.dataset == parallel_result.dataset
+        assert len(result.shard_reports) == 2
+
+
+class TestFaultTolerance:
+    def test_crashed_shard_is_retried_once(self, parallel_result):
+        runner = ParallelSimulator(
+            _config(), workers=4, fail_shard_attempts={0: 1}
+        )
+        result = runner.run()
+        report = result.shard_reports[0]
+        assert report.retries == 1
+        assert report.succeeded
+        # the retry re-ran the same deterministic shard: output unchanged
+        assert result.dataset == parallel_result.dataset
+
+    def test_shard_failing_both_attempts_raises(self):
+        runner = ParallelSimulator(
+            _config(), workers=2, fail_shard_attempts={1: 2}
+        )
+        with pytest.raises(ShardFailedError, match="shard 1"):
+            runner.run()
+
+    def test_allow_partial_preserves_surviving_shards(self, parallel_result):
+        runner = ParallelSimulator(
+            _config(), workers=4, fail_shard_attempts={2: 2}, allow_partial=True
+        )
+        result = runner.run()
+        failed = result.shard_reports[2]
+        assert not failed.succeeded and failed.retries == 1 and failed.error
+        survivors = [r for r in result.shard_reports if r.shard_index != 2]
+        assert all(r.succeeded for r in survivors)
+        # surviving shards still cover exactly their slice of the sessions
+        # (timestamps may shift: the barrier max now spans survivors only)
+        full_ids = {r.session_id for r in parallel_result.dataset.player_sessions}
+        partial_ids = {r.session_id for r in result.dataset.player_sessions}
+        assert partial_ids < full_ids
+        assert result.dataset.n_sessions == sum(r.sessions for r in survivors)
+
+
+class TestMultiPeriod:
+    def test_run_periods_equals_serial_execute_periods(self):
+        base = _config(n_sessions=80, warmup_sessions=60, seed=5)
+        periods = [
+            PeriodSpec(config=base, label="baseline"),
+            PeriodSpec(
+                config=base,
+                label="incident",
+                mutation="repro.simulation.scenarios:_flush_caches",
+            ),
+        ]
+        serial_datasets, _ = execute_periods(periods)
+        datasets, servers, reports = ParallelSimulator(
+            base, workers=3
+        ).run_periods(periods)
+        assert len(datasets) == 2
+        assert datasets[0] == serial_datasets[0].sorted()
+        assert datasets[1] == serial_datasets[1].sorted()
+        assert set(servers) and len(reports) == 3
+
+
+class TestCli:
+    def test_simulate_workers_flag(self, tmp_path, capsys):
+        out = tmp_path / "trace"
+        code = cli_main(
+            [
+                "simulate",
+                "--sessions", "40",
+                "--warmup", "30",
+                "--seed", "11",
+                "--workers", "2",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "on 2 shard workers" in captured
+        assert "shard 0/2" in captured and "shard 1/2" in captured
+        dataset = load_dataset(out)
+        assert dataset.n_sessions == 40
+        serial = Simulator(
+            SimulationConfig(n_sessions=40, warmup_sessions=30, seed=11)
+        ).run()
+        assert dataset == serial.dataset.sorted()
