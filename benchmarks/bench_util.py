@@ -2,8 +2,38 @@
 
 from __future__ import annotations
 
+from repro import obs
 from repro.analysis.experiments import run_experiment
 from repro.analysis.experiments.base import ExperimentResult
+
+
+def attach_observability(benchmark) -> None:
+    """Record the last simulation's observability data in the bench JSON.
+
+    Pulls the most recently completed run's metrics/span capture
+    (:func:`repro.obs.last_run`) and stores a compact stage-level
+    breakdown in ``benchmark.extra_info``, so BENCH_*.json trajectories
+    carry per-stage counters and wall-clock spans alongside the timing
+    numbers.  Zero-valued counters and histograms are dropped — the full
+    key set is documented in docs/OBSERVABILITY.md, not re-serialized per
+    bench.  A bench that only re-analyzes a cached dataset attributes its
+    capture to the shared fixture simulation (the last one that ran in
+    this process); benches that never simulated record nothing.
+    """
+    capture = obs.last_run()
+    if capture is None:
+        return
+    metrics = capture["metrics"]
+    benchmark.extra_info["obs_counters"] = {
+        name: value for name, value in metrics["counters"].items() if value
+    }
+    benchmark.extra_info["obs_gauges"] = metrics["gauges"]
+    benchmark.extra_info["obs_histograms"] = {
+        name: payload
+        for name, payload in metrics["histograms"].items()
+        if payload["count"]
+    }
+    benchmark.extra_info["obs_spans"] = capture["spans"]
 
 
 def run_and_report(benchmark, experiment_id: str, *args, **kwargs) -> ExperimentResult:
@@ -21,6 +51,7 @@ def run_and_report(benchmark, experiment_id: str, *args, **kwargs) -> Experiment
         iterations=1,
         warmup_rounds=0,
     )
+    attach_observability(benchmark)
     print()
     print(result.format_report())
     assert result.all_checks_passed, result.format_report()

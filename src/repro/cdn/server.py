@@ -24,6 +24,7 @@ from typing import Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
+from ..obs.registry import MetricsRegistry
 from ..workload.randomness import bounded_lognormal, spawn
 from .backend import BackendService
 from .cache import CacheStatus, TwoLevelCache
@@ -95,6 +96,7 @@ class CdnServer:
         config: Optional[CdnServerConfig] = None,
         backend: Optional[BackendService] = None,
         seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.server_id = server_id
         self.backend_rtt_ms = backend_rtt_ms
@@ -116,6 +118,24 @@ class CdnServer:
         self.status_counts: Dict[CacheStatus, int] = {status: 0 for status in CacheStatus}
         self.backend_fetches = 0
         self.prefetch_fetches = 0
+        # Observability handles, bound once so serve() touches attributes
+        # only.  Metric names are part of the docs/OBSERVABILITY.md
+        # contract; all series are fleet-wide (no per-server labels).
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_requests = metrics.counter("cdn.requests_total")
+            self._m_bytes = metrics.counter("cdn.bytes_served_total")
+            self._m_status = {
+                CacheStatus.HIT_RAM: metrics.counter("cdn.cache_hits_ram_total"),
+                CacheStatus.HIT_DISK: metrics.counter("cdn.cache_hits_disk_total"),
+                CacheStatus.MISS: metrics.counter("cdn.cache_misses_total"),
+            }
+            self._m_retry = metrics.counter("cdn.retry_timer_hits_total")
+            self._m_backend = metrics.counter("cdn.backend_fetches_total")
+            self._m_prefetch = metrics.counter("cdn.prefetch_fetches_total")
+            self._m_queue_wait = metrics.histogram("cdn.queue_wait_ms")
+            self._m_serve_latency = metrics.histogram("cdn.serve_latency_ms")
+            self._m_backend_latency = metrics.histogram("cdn.backend_latency_ms")
 
     # -- load tracking -------------------------------------------------------
 
@@ -156,6 +176,23 @@ class CdnServer:
         """Serve one chunk request arriving at *now_ms*."""
         if size_bytes <= 0:
             raise ValueError("size_bytes must be positive")
+        if self._metrics is None:
+            return self._serve(key, size_bytes, now_ms)
+        with self._metrics.span("cdn.serve"):
+            result = self._serve(key, size_bytes, now_ms)
+        self._m_requests.inc()
+        self._m_bytes.inc(size_bytes)
+        self._m_status[result.status].inc()
+        self._m_queue_wait.observe(result.d_wait_ms)
+        self._m_serve_latency.observe(result.d_cdn_ms)
+        if result.retry_timer_hit:
+            self._m_retry.inc()
+        if result.status is CacheStatus.MISS:
+            self._m_backend.inc()
+            self._m_backend_latency.observe(result.d_be_ms)
+        return result
+
+    def _serve(self, key: ChunkKey, size_bytes: int, now_ms: float) -> ServeResult:
         self._update_load(now_ms)
         self.requests_served += 1
         self.bytes_served += size_bytes
@@ -212,6 +249,8 @@ class CdnServer:
             return False
         self.cache.admit(key, size_bytes)
         self.prefetch_fetches += 1
+        if self._metrics is not None:
+            self._m_prefetch.inc()
         return True
 
     @property

@@ -3,6 +3,8 @@
 Usage (also via ``python -m repro``):
 
     repro simulate --sessions 2000 --out trace/         # run + persist
+    repro simulate --sessions 2000 --out trace/ \
+        --metrics-out metrics.json                       # + observability doc
     repro analyze trace/                                 # QoE + localization
     repro findings trace/                                # Table-1 checks
     repro experiment fig05 [--scale small] [--plot]      # reproduce a figure
@@ -14,9 +16,10 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
-from . import __version__
+from . import __version__, obs
 from .analysis import plotting
 from .core import diagnose_dataset, evaluate_key_findings, filter_proxies, qoe, whatif
 from .simulation.config import SimulationConfig
@@ -55,6 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
              "exceeding it is killed and retried once (default: none)",
     )
     sim.add_argument("--out", required=True, help="output dataset directory")
+    sim.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the deterministic observability document (run manifest "
+             "+ metrics registry) as JSON; byte-identical for any --workers "
+             "value (see docs/OBSERVABILITY.md)",
+    )
+    sim.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="profile the run with cProfile and dump pstats data to FILE "
+             "(with --workers >1 only the parent process is profiled)",
+    )
 
     analyze = commands.add_parser("analyze", help="QoE + bottleneck localization")
     analyze.add_argument("dataset", help="dataset directory from 'simulate'")
@@ -108,11 +122,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"simulating {args.sessions} sessions (+{warmup} warmup), "
         f"seed {args.seed}, {mode}..."
     )
-    result = simulate(config)
+    started = time.perf_counter()
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        result = profiler.runcall(simulate, config)
+        profiler.dump_stats(args.profile)
+        stats = pstats.Stats(profiler).sort_stats("cumulative")
+        print(f"wrote cProfile data to {args.profile}; top stages:")
+        stats.print_stats(10)
+    else:
+        result = simulate(config)
+    wall_time_s = time.perf_counter() - started
     path = save_dataset(result.dataset, args.out)
+    manifest_path = obs.save_run_manifest(result, args.out, wall_time_s=wall_time_s)
     print(
         f"wrote {result.dataset.n_sessions} sessions / "
-        f"{result.dataset.n_chunks} chunks to {path}"
+        f"{result.dataset.n_chunks} chunks to {path} "
+        f"(+ {manifest_path.name})"
     )
     for report in result.shard_reports:
         status = "ok" if report.succeeded else f"FAILED ({report.error})"
@@ -122,6 +151,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{report.wall_time_s:.2f}s, retries={report.retries}, "
             f"peak_rss={report.peak_rss_bytes / 1e6:.0f} MB [{status}]"
         )
+    if args.metrics_out:
+        metrics_path = obs.write_metrics_document(result, args.metrics_out)
+        print(f"wrote metrics document to {metrics_path}")
+    if result.metrics is not None:
+        for name, total_s in result.metrics.tracer.totals():
+            print(f"  span {name}: {total_s:.3f}s")
     return 0
 
 

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ..obs.registry import MetricsRegistry
+
 __all__ = ["RebufferEvent", "PlaybackBuffer"]
 
 
@@ -44,6 +46,10 @@ class PlaybackBuffer:
     started: bool = False
     startup_at_ms: Optional[float] = None
     events: List[RebufferEvent] = field(default_factory=list)
+    #: observability registry (stall events feed ``client.rebuffer_*``)
+    metrics: Optional[MetricsRegistry] = field(
+        default=None, repr=False, compare=False
+    )
     _last_update_ms: Optional[float] = None
     _total_media_ms: float = 0.0
 
@@ -80,6 +86,9 @@ class PlaybackBuffer:
                             chunk_index=chunk_index,
                         )
                     )
+                    if self.metrics is not None:
+                        self.metrics.counter("client.rebuffer_events_total").inc()
+                        self.metrics.histogram("client.rebuffer_ms").observe(stall)
                 self.level_ms = 0.0
             else:
                 self.level_ms -= elapsed

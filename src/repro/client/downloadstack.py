@@ -17,9 +17,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from ..obs.registry import MetricsRegistry
 from .browsers import PlatformProfile
 
 __all__ = ["DownloadStackEffect", "DownloadStackModel"]
@@ -48,9 +50,24 @@ class DownloadStackEffect:
 class DownloadStackModel:
     """Samples per-chunk download-stack effects for one session's platform."""
 
-    def __init__(self, platform: PlatformProfile, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        platform: PlatformProfile,
+        rng: np.random.Generator,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.platform = platform
         self.rng = rng
+        self.metrics = metrics
+
+    def _record(self, effect: "DownloadStackEffect") -> "DownloadStackEffect":
+        if self.metrics is not None:
+            self.metrics.histogram("client.ds_delay_ms").observe(
+                effect.first_byte_delay_ms
+            )
+            if effect.transient:
+                self.metrics.counter("client.ds_transients_total").inc()
+        return effect
 
     def sample(self, chunk_index: int, network_dlb_ms: float) -> DownloadStackEffect:
         """Sample the stack's effect on the chunk at *chunk_index*.
@@ -71,10 +88,12 @@ class DownloadStackModel:
         if rng.random() < platform.transient_buffer_prob:
             hold_fraction = float(rng.uniform(0.6, 0.95))
             held_ms = hold_fraction * network_dlb_ms + float(rng.uniform(300.0, 1500.0))
-            return DownloadStackEffect(
-                first_byte_delay_ms=held_ms,
-                last_byte_shift_ms=min(held_ms, 0.95 * network_dlb_ms),
-                transient=True,
+            return self._record(
+                DownloadStackEffect(
+                    first_byte_delay_ms=held_ms,
+                    last_byte_shift_ms=min(held_ms, 0.95 * network_dlb_ms),
+                    transient=True,
+                )
             )
 
         delay = 0.0
@@ -88,6 +107,8 @@ class DownloadStackModel:
         if chunk_index == 0:
             mu = np.log(platform.first_chunk_extra_ms) - 0.5 * 0.25**2
             delay += float(rng.lognormal(mu, 0.5))
-        return DownloadStackEffect(
-            first_byte_delay_ms=delay, last_byte_shift_ms=0.0, transient=False
+        return self._record(
+            DownloadStackEffect(
+                first_byte_delay_ms=delay, last_byte_shift_ms=0.0, transient=False
+            )
         )

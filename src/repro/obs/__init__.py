@@ -1,0 +1,89 @@
+"""repro.obs — the simulator's observability layer.
+
+Zero-dependency metrics (counters, gauges, fixed-bucket histograms) and
+aggregated span tracing, threaded through the simulator's hot paths, plus
+the run-manifest / metrics-document emitters behind
+``repro simulate --metrics-out``.
+
+The set of legal metric and span names is a *written contract*:
+``docs/OBSERVABILITY.md`` documents every name, and
+``tests/test_docs_contract.py`` fails if code and docs drift apart.
+
+The module also keeps a process-level "last completed run" capture so the
+benchmark harness can attach stage-level breakdowns to its BENCH_*.json
+records without threading a registry through every experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .manifest import (
+    EXECUTION_FIELDS,
+    MANIFEST_FILENAME,
+    MANIFEST_SCHEMA,
+    config_hash,
+    dump_json,
+    metrics_document,
+    run_manifest,
+    save_run_manifest,
+    write_metrics_document,
+)
+from .registry import (
+    LATENCY_BUCKETS_MS,
+    METRIC_SPECS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSpec,
+    MetricsRegistry,
+    register_metric,
+)
+from .spans import SPAN_SPECS, SpanSpec, SpanTracer, register_span
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricSpec",
+    "METRIC_SPECS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_MS",
+    "register_metric",
+    "SpanTracer",
+    "SpanSpec",
+    "SPAN_SPECS",
+    "register_span",
+    "config_hash",
+    "metrics_document",
+    "run_manifest",
+    "dump_json",
+    "write_metrics_document",
+    "save_run_manifest",
+    "EXECUTION_FIELDS",
+    "MANIFEST_FILENAME",
+    "MANIFEST_SCHEMA",
+    "publish_last_run",
+    "last_run",
+]
+
+_LAST_RUN: Optional[Dict[str, Any]] = None
+
+
+def publish_last_run(registry: MetricsRegistry) -> None:
+    """Record *registry* as the most recently completed run in this process.
+
+    Called by the simulation drivers when a run finishes; read by the
+    benchmark harness (:func:`last_run`).  Snapshots are taken eagerly so
+    later mutation of the registry cannot change what was published.
+    """
+    global _LAST_RUN
+    _LAST_RUN = {
+        "metrics": registry.snapshot(),
+        "spans": registry.spans_snapshot(),
+    }
+
+
+def last_run() -> Optional[Dict[str, Any]]:
+    """The last published run's ``{"metrics": ..., "spans": ...}``, if any."""
+    return _LAST_RUN

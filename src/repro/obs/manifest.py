@@ -1,0 +1,124 @@
+"""Run manifests and metrics documents: what ran, under what identity.
+
+Two artifacts, two contracts:
+
+* the **metrics document** (``repro simulate --metrics-out``) is fully
+  deterministic — workload identity plus the metrics registry snapshot.
+  Its bytes depend only on the seeded workload, never on how the run was
+  executed: a serial run and a ``--workers 4`` run of the same config
+  produce identical files (the acceptance test of the observability
+  layer).  Execution knobs are therefore excluded from its config hash
+  and its manifest block.
+* the **run manifest** (``manifest.json`` written next to every persisted
+  dataset) records the execution too: shard layout, per-shard reports,
+  span timings, wall clock.  It answers "what produced this directory"
+  and is *not* byte-stable across worker counts — by design.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from ..simulation.config import SimulationConfig
+    from ..simulation.driver import SimulationResult
+
+__all__ = [
+    "EXECUTION_FIELDS",
+    "MANIFEST_FILENAME",
+    "MANIFEST_SCHEMA",
+    "config_hash",
+    "metrics_document",
+    "run_manifest",
+    "dump_json",
+    "write_metrics_document",
+    "save_run_manifest",
+]
+
+#: Config fields that choose *how* the trace is computed, never *what* it
+#: is (see SimulationConfig).  Excluded from the workload identity hash so
+#: serial and sharded runs of one workload share a config_hash.
+EXECUTION_FIELDS = frozenset({"workers", "shard_timeout_s", "shard_by"})
+
+MANIFEST_SCHEMA = "repro.obs/1"
+MANIFEST_FILENAME = "manifest.json"
+
+
+def config_hash(config: "SimulationConfig") -> str:
+    """Stable hex digest of the config's workload-semantic fields."""
+    payload = dataclasses.asdict(config)
+    for field in EXECUTION_FIELDS:
+        payload.pop(field, None)
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _identity(result: "SimulationResult") -> Dict[str, Any]:
+    """The deterministic manifest block shared by both artifacts."""
+    # Imported lazily: repro/__init__ imports the driver, which imports
+    # this package before __version__ is bound.
+    from .. import __version__
+
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "package_version": __version__,
+        "seed": result.config.seed,
+        "config_hash": config_hash(result.config),
+        "n_sessions": result.dataset.n_sessions,
+        "n_chunks": result.dataset.n_chunks,
+    }
+
+
+def metrics_document(result: "SimulationResult") -> Dict[str, Any]:
+    """The deterministic ``--metrics-out`` payload: identity + registry."""
+    metrics = result.metrics.snapshot() if result.metrics is not None else {}
+    return {"manifest": _identity(result), "metrics": metrics}
+
+
+def run_manifest(
+    result: "SimulationResult", wall_time_s: Optional[float] = None
+) -> Dict[str, Any]:
+    """The full execution manifest written next to a persisted dataset."""
+    config = result.config
+    shards = [dataclasses.asdict(report) for report in result.shard_reports]
+    manifest = _identity(result)
+    manifest["execution"] = {
+        "workers": config.workers,
+        "shard_by": config.shard_by,
+        "shard_timeout_s": config.shard_timeout_s,
+        "n_shards": len(shards) or 1,
+        "shard_reports": shards,
+        "spans": result.metrics.spans_snapshot() if result.metrics is not None else [],
+    }
+    if wall_time_s is not None:
+        manifest["execution"]["wall_time_s"] = wall_time_s
+    return manifest
+
+
+def dump_json(document: Dict[str, Any]) -> str:
+    """Canonical serialization: sorted keys, fixed indentation, newline."""
+    return json.dumps(document, sort_keys=True, indent=2) + "\n"
+
+
+def write_metrics_document(result: "SimulationResult", path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dump_json(metrics_document(result)), encoding="utf-8")
+    return path
+
+
+def save_run_manifest(
+    result: "SimulationResult",
+    directory: Union[str, Path],
+    wall_time_s: Optional[float] = None,
+) -> Path:
+    """Write ``manifest.json`` into a dataset directory; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / MANIFEST_FILENAME
+    path.write_text(dump_json(run_manifest(result, wall_time_s)), encoding="utf-8")
+    return path

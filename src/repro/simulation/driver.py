@@ -16,6 +16,8 @@ from ..cdn.mapping import TrafficEngineering
 from ..cdn.pop import Deployment, build_default_deployment
 from ..cdn.server import CdnServer
 from ..client.abr import make_abr
+from ..obs import publish_last_run
+from ..obs.registry import MetricsRegistry
 from ..telemetry.collector import TelemetryCollector
 from ..telemetry.dataset import Dataset
 from ..workload.catalog import Catalog, generate_catalog
@@ -79,6 +81,9 @@ class SimulationResult:
     config: SimulationConfig
     #: per-shard execution telemetry; empty for serial runs
     shard_reports: List["ShardReport"] = field(default_factory=list)
+    #: observability registry of the run (merged across shards when
+    #: sharded); see docs/OBSERVABILITY.md for the metrics contract
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def fleet_miss_ratio(self) -> float:
@@ -104,6 +109,7 @@ class Simulator:
         shard: Optional[ShardSpec] = None,
         world: Optional[World] = None,
         clock_sync: Optional[Callable[[float], float]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         """Build the world and the server fleet.
 
@@ -121,6 +127,9 @@ class Simulator:
         config = self.config
         self.shard = shard
         self._clock_sync = clock_sync
+        #: observability registry: one per run (or one per shard worker,
+        #: merged deterministically by the parallel runner)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         world = world if world is not None else build_world(config)
         self.catalog = world.catalog
         self.population = world.population
@@ -139,6 +148,7 @@ class Simulator:
                     backend_rtt_ms=pop.backend_rtt_ms,
                     config=config.server,
                     seed=config.seed,
+                    metrics=self.metrics,
                 )
         self._warmed = False
         self._clock_ms = 0.0
@@ -185,31 +195,36 @@ class Simulator:
         self._sync_clock()
         if config.warmup_sessions > 0 and not self._warmed:
             discard = TelemetryCollector(record_ground_truth=False)
-            self._clock_ms = self._run_period(
-                n_sessions=config.warmup_sessions,
-                seed=config.seed + 99_991,  # disjoint session stream
-                collector=discard,
-                start_ms=self._clock_ms,
-            )
+            with self.metrics.span("driver.warmup"):
+                self._clock_ms = self._run_period(
+                    n_sessions=config.warmup_sessions,
+                    seed=config.seed + 99_991,  # disjoint session stream
+                    collector=discard,
+                    start_ms=self._clock_ms,
+                )
             self._warmed = True
         # Barrier 2: the measured period starts when the *fleet's* warmup
         # ends (the serial run's loop end), not when this shard's does.
         self._sync_clock()
         collector = TelemetryCollector(record_ground_truth=config.record_ground_truth)
-        self._clock_ms = self._run_period(
-            n_sessions=n_sessions,
-            seed=config.seed,
-            collector=collector,
-            start_ms=max(start_ms, self._clock_ms),
-        )
-        return SimulationResult(
+        with self.metrics.span("driver.period"):
+            self._clock_ms = self._run_period(
+                n_sessions=n_sessions,
+                seed=config.seed,
+                collector=collector,
+                start_ms=max(start_ms, self._clock_ms),
+            )
+        result = SimulationResult(
             dataset=collector.dataset(),
             catalog=self.catalog,
             population=self.population,
             deployment=self.deployment,
             servers=self.servers,
             config=config,
+            metrics=self.metrics,
         )
+        publish_last_run(self.metrics)
+        return result
 
     def run_days(
         self,
@@ -233,30 +248,35 @@ class Simulator:
         )
         if config.warmup_sessions > 0 and not self._warmed:
             discard = TelemetryCollector(record_ground_truth=False)
-            self._run_period(
-                n_sessions=config.warmup_sessions,
-                seed=config.seed + 99_991,
-                collector=discard,
-                start_ms=self._clock_ms,
-            )
+            with self.metrics.span("driver.warmup"):
+                self._run_period(
+                    n_sessions=config.warmup_sessions,
+                    seed=config.seed + 99_991,
+                    collector=discard,
+                    start_ms=self._clock_ms,
+                )
             self._warmed = True
         collector = TelemetryCollector(record_ground_truth=config.record_ground_truth)
         for day in range(n_days):
             day_start = max(self._clock_ms, day * day_length_ms)
-            self._clock_ms = self._run_period(
-                n_sessions=sessions_per_day,
-                seed=config.seed + day,  # a fresh session stream per day
-                collector=collector,
-                start_ms=day_start,
-            )
-        return SimulationResult(
+            with self.metrics.span("driver.period"):
+                self._clock_ms = self._run_period(
+                    n_sessions=sessions_per_day,
+                    seed=config.seed + day,  # a fresh session stream per day
+                    collector=collector,
+                    start_ms=day_start,
+                )
+        result = SimulationResult(
             dataset=collector.dataset(),
             catalog=self.catalog,
             population=self.population,
             deployment=self.deployment,
             servers=self.servers,
             config=config,
+            metrics=self.metrics,
         )
+        publish_last_run(self.metrics)
+        return result
 
     def _sync_clock(self) -> None:
         """Align the local clock with the fleet (no-op for serial runs)."""
@@ -278,7 +298,7 @@ class Simulator:
             seed=seed,
             arrival_rate_per_s=config.arrival_rate_per_s,
         )
-        loop = EventLoop()
+        loop = EventLoop(metrics=self.metrics)
 
         def start_session(plan: SessionPlan):
             def on_start(now_ms: float) -> None:
@@ -303,6 +323,7 @@ class Simulator:
                     ),
                     collector=collector,
                     config=config,
+                    metrics=self.metrics,
                 )
                 first_request_at = now_ms + actor.manifest_time_ms(now_ms)
                 loop.schedule(first_request_at, make_chunk_event(actor))

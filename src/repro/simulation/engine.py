@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from contextlib import nullcontext
 from typing import Callable, List, Optional, Tuple
+
+from ..obs.registry import MetricsRegistry
 
 __all__ = ["EventLoop"]
 
@@ -18,13 +21,23 @@ EventCallback = Callable[[float], None]
 
 
 class EventLoop:
-    """Heap-ordered event loop over absolute simulation time (ms)."""
+    """Heap-ordered event loop over absolute simulation time (ms).
 
-    def __init__(self) -> None:
+    ``metrics`` is the optional observability registry: each :meth:`run`
+    is wrapped in an ``engine.run`` span, and on exit the loop folds its
+    event count into ``engine.events_total`` and publishes the final
+    clock as ``engine.clock_ms`` (whose max across shards equals the
+    serial run's clock — see docs/OBSERVABILITY.md).  The per-event hot
+    loop itself stays untouched: bookkeeping uses the counters the loop
+    maintains anyway.
+    """
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._heap: List[Tuple[float, int, EventCallback]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._running = False
+        self._metrics = metrics
         self.events_processed = 0
 
     @property
@@ -51,17 +64,25 @@ class EventLoop:
         Stops when the heap empties or the next event is past *until_ms*.
         """
         self._running = True
+        processed_before = self.events_processed
+        span = self._metrics.span("engine.run") if self._metrics else nullcontext()
         try:
-            while self._heap:
-                at_ms, _, callback = self._heap[0]
-                if until_ms is not None and at_ms > until_ms:
-                    break
-                heapq.heappop(self._heap)
-                self._now = at_ms
-                callback(at_ms)
-                self.events_processed += 1
+            with span:
+                while self._heap:
+                    at_ms, _, callback = self._heap[0]
+                    if until_ms is not None and at_ms > until_ms:
+                        break
+                    heapq.heappop(self._heap)
+                    self._now = at_ms
+                    callback(at_ms)
+                    self.events_processed += 1
         finally:
             self._running = False
+            if self._metrics is not None:
+                self._metrics.counter("engine.events_total").inc(
+                    self.events_processed - processed_before
+                )
+                self._metrics.gauge("engine.clock_ms").set(self._now)
         return self._now
 
     def __len__(self) -> int:

@@ -51,6 +51,8 @@ from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cdn.server import CdnServer
+from ..obs import publish_last_run
+from ..obs.registry import MetricsRegistry
 from ..telemetry.dataset import Dataset
 from .config import SimulationConfig
 from .driver import SimulationResult, Simulator, World, build_world
@@ -85,6 +87,9 @@ class ShardReport:
     worker_pid: int
     succeeded: bool = True
     error: Optional[str] = None
+    #: wall-clock span breakdown of the worker: ((span name, total s), ...)
+    #: sorted by name — see docs/OBSERVABILITY.md for the span contract
+    span_totals: Tuple[Tuple[str, float], ...] = ()
 
 
 class ShardFailedError(RuntimeError):
@@ -133,6 +138,7 @@ def execute_periods(
     shard: Optional[ShardSpec] = None,
     world: Optional[World] = None,
     clock_sync: Optional[Callable[[float], float]] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Tuple[List[Dataset], Simulator]:
     """Run *periods* back to back on one (optionally sharded) simulator.
 
@@ -140,18 +146,26 @@ def execute_periods(
     (``shard=None``) and the shard workers, so both produce identical
     per-server request streams.  Returns one dataset per period plus the
     final simulator (whose servers hold the end-of-run cache state).
+    ``metrics`` (one registry for the whole multi-period run) is shared by
+    every period's simulator, so config-change periods keep accumulating
+    into the same counters.
     """
     if not periods:
         raise ValueError("periods must be non-empty")
+    if metrics is None:
+        metrics = MetricsRegistry()
     simulator: Optional[Simulator] = None
     datasets: List[Dataset] = []
     for spec in periods:
         if simulator is None:
             simulator = Simulator(
-                spec.config, shard=shard, world=world, clock_sync=clock_sync
+                spec.config, shard=shard, world=world, clock_sync=clock_sync,
+                metrics=metrics,
             )
         elif spec.config != simulator.config:
-            successor = Simulator(spec.config, shard=shard, clock_sync=clock_sync)
+            successor = Simulator(
+                spec.config, shard=shard, clock_sync=clock_sync, metrics=metrics
+            )
             if spec.carry_fleet:
                 successor.servers = simulator.servers
                 successor.deployment = simulator.deployment
@@ -205,12 +219,15 @@ def _shard_worker_main(task: _ShardTask, conn) -> None:
         os._exit(23)  # injected crash (tests): die before producing anything
     try:
         started = time.perf_counter()
-        datasets, simulator = execute_periods(
-            task.periods,
-            shard=task.shard,
-            world=task.world,
-            clock_sync=_make_clock_sync(conn),
-        )
+        registry = MetricsRegistry()
+        with registry.span("parallel.worker"):
+            datasets, simulator = execute_periods(
+                task.periods,
+                shard=task.shard,
+                world=task.world,
+                clock_sync=_make_clock_sync(conn),
+                metrics=registry,
+            )
         conn.send(
             {
                 "datasets": datasets,
@@ -219,6 +236,8 @@ def _shard_worker_main(task: _ShardTask, conn) -> None:
                 "wall_time_s": time.perf_counter() - started,
                 "peak_rss_bytes": _peak_rss_bytes(),
                 "pid": os.getpid(),
+                "metrics": registry.snapshot(),
+                "span_totals": tuple(registry.tracer.totals()),
             }
         )
     except Exception:
@@ -294,6 +313,8 @@ class ParallelSimulator:
         self._fail_shard_attempts = dict(fail_shard_attempts or {})
         #: shard count == worker count: every worker owns exactly one shard
         self.n_shards = self.workers
+        #: merged observability registry of the last completed run
+        self.metrics: Optional[MetricsRegistry] = None
 
     # -- public API ----------------------------------------------------------
 
@@ -310,8 +331,8 @@ class ParallelSimulator:
         """
         world = build_world(self.config)
         period = PeriodSpec(config=self.config, n_sessions=n_sessions, start_ms=start_ms)
-        datasets, servers, reports = self._run_sharded((period,), world)
-        return SimulationResult(
+        datasets, servers, reports, registry = self._run_sharded((period,), world)
+        result = SimulationResult(
             dataset=datasets[0],
             catalog=world.catalog,
             population=world.population,
@@ -319,7 +340,10 @@ class ParallelSimulator:
             servers=servers,
             config=self.config,
             shard_reports=reports,
+            metrics=registry,
         )
+        publish_last_run(registry)
+        return result
 
     def run_periods(
         self, periods: Sequence[PeriodSpec]
@@ -333,13 +357,16 @@ class ParallelSimulator:
         if not periods:
             raise ValueError("periods must be non-empty")
         world = build_world(periods[0].config)
-        return self._run_sharded(tuple(periods), world)
+        datasets, servers, reports, registry = self._run_sharded(tuple(periods), world)
+        self.metrics = registry
+        publish_last_run(registry)
+        return datasets, servers, reports
 
     # -- orchestration -------------------------------------------------------
 
     def _run_sharded(
         self, periods: Tuple[PeriodSpec, ...], world: World
-    ) -> Tuple[List[Dataset], Dict[str, CdnServer], List[ShardReport]]:
+    ) -> Tuple[List[Dataset], Dict[str, CdnServer], List[ShardReport], MetricsRegistry]:
         outputs: Dict[int, Dict[str, Any]] = {}
         reports: Dict[int, ShardReport] = {}
         pending = deque(range(self.n_shards))
@@ -356,19 +383,26 @@ class ParallelSimulator:
         finally:
             for state in running.values():
                 self._kill(state)
-        merged = [
-            Dataset.merge_all(
-                (outputs[index]["datasets"][p] for index in sorted(outputs)),
-                canonicalize=True,
-            )
-            for p in range(len(periods))
-        ]
+        # Merge the shard registries in sorted shard order.  Counters and
+        # histogram buckets are integers and gauges merge by max, so the
+        # fold equals the serial run's registry for any shard count.
+        registry = MetricsRegistry()
+        with registry.span("parallel.merge"):
+            merged = [
+                Dataset.merge_all(
+                    (outputs[index]["datasets"][p] for index in sorted(outputs)),
+                    canonicalize=True,
+                )
+                for p in range(len(periods))
+            ]
+            for index in sorted(outputs):
+                registry.merge_snapshot(outputs[index]["metrics"])
         servers: Dict[str, CdnServer] = {}
         for index in sorted(outputs):
             for server_id, server in outputs[index]["servers"].items():
                 key = server_id if self.shard_by == "server" else f"{server_id}@s{index}"
                 servers[key] = server
-        return merged, servers, [reports[index] for index in sorted(reports)]
+        return merged, servers, [reports[index] for index in sorted(reports)], registry
 
     def _launch(
         self, index: int, attempt: int, periods: Tuple[PeriodSpec, ...], world: World
@@ -465,6 +499,7 @@ class ParallelSimulator:
                         retries=state.attempt,
                         peak_rss_bytes=payload["peak_rss_bytes"],
                         worker_pid=payload["pid"],
+                        span_totals=tuple(payload.get("span_totals", ())),
                     )
             elif (
                 self.shard_timeout_s is not None

@@ -29,6 +29,7 @@ from ..client.downloadstack import DownloadStackModel
 from ..client.rendering import RenderingModel
 from ..net.path import NetworkPath, build_session_path
 from ..net.tcp import TcpConnection
+from ..obs.registry import MetricsRegistry
 from ..telemetry.collector import TelemetryCollector
 from ..telemetry.records import (
     CdnChunkRecord,
@@ -56,6 +57,7 @@ class SessionActor:
         abr: AbrAlgorithm,
         collector: TelemetryCollector,
         config: SimulationConfig,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.plan = plan
         self.mapping = mapping
@@ -63,6 +65,14 @@ class SessionActor:
         self.abr = abr
         self.collector = collector
         self.config = config
+        # Observability: chunk-lifecycle metrics (docs/OBSERVABILITY.md).
+        self.metrics = metrics
+        if metrics is not None:
+            metrics.counter("client.sessions_total").inc()
+            self._m_chunks = metrics.counter("client.chunks_total")
+            self._m_dfb = metrics.histogram("client.dfb_ms")
+            self._m_dlb = metrics.histogram("client.dlb_ms")
+            self._m_startup = metrics.histogram("client.startup_delay_ms")
 
         # Keyed by session id so warmup streams (different generator seed)
         # do not replay the measured sessions' noise.
@@ -85,8 +95,8 @@ class SessionActor:
             slow_start_growth=1.5 if config.tcp_paced else 2.0,
             max_window_segments=rwnd_segments,
         )
-        self.buffer = PlaybackBuffer()
-        self.downloadstack = DownloadStackModel(client.platform, self.rng)
+        self.buffer = PlaybackBuffer(metrics=metrics)
+        self.downloadstack = DownloadStackModel(client.platform, self.rng, metrics=metrics)
         self.renderer = RenderingModel(
             platform=client.platform,
             gpu=client.gpu,
@@ -147,6 +157,12 @@ class SessionActor:
         Returns the absolute time at which the player will issue the next
         chunk request, or None when the session is over.
         """
+        if self.metrics is None:
+            return self._process_chunk(now_ms)
+        with self.metrics.span("session.chunk"):
+            return self._process_chunk(now_ms)
+
+    def _process_chunk(self, now_ms: float) -> Optional[float]:
         plan = self.plan
         video = plan.video
         index = self.next_chunk
@@ -179,6 +195,13 @@ class SessionActor:
         complete_ms = now_ms + dfb + dlb
 
         # --- playout phase ---
+        if self.metrics is not None:
+            self._m_chunks.inc()
+            self._m_dfb.observe(dfb)
+            self._m_dlb.observe(dlb)
+            if index == 0:
+                self._m_startup.observe(dfb + dlb)
+
         pre_append_level = self.buffer.level_at(complete_ms)
         rebuffer_count, rebuffer_ms = self.buffer.on_chunk_ready(
             index, duration_ms, complete_ms
