@@ -18,13 +18,21 @@ package pairs
 
 Quickstart::
 
-    from repro import SimulationConfig, simulate
-    result = simulate(SimulationConfig(n_sessions=500, seed=1))
+    from repro import SimulationConfig, run
+    result = run(SimulationConfig(n_sessions=500, seed=1))
     from repro.core import filter_proxies, qoe
     dataset, _ = filter_proxies(result.dataset)
     print(qoe.summarize(dataset))
+
+:func:`repro.api.run` is the supported entry point for every execution
+shape — serial, sharded (``workers=4``), multi-period, and fault-injected
+(``faults="examples/fault_cdn_degradation.json"``).  The lower-level
+``Simulator`` / ``simulate`` names remain exported for backward
+compatibility but new code should go through ``run()``.
 """
 
+from .api import RunResult, run
+from .faults import FaultSpec
 from .simulation.config import SimulationConfig
 from .simulation.driver import SimulationResult, Simulator, simulate
 from .telemetry.dataset import Dataset, JoinedChunk, SessionView
@@ -32,6 +40,9 @@ from .telemetry.dataset import Dataset, JoinedChunk, SessionView
 __version__ = "1.0.0"
 
 __all__ = [
+    "run",
+    "RunResult",
+    "FaultSpec",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",

@@ -20,11 +20,14 @@ prefetching subsequent chunks of a session after its first miss.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
 from ..obs.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # import-time only: keeps cdn importable without faults
+    from ..faults.injector import FaultInjector
 from ..workload.randomness import bounded_lognormal, spawn
 from .backend import BackendService
 from .cache import CacheStatus, TwoLevelCache
@@ -97,8 +100,13 @@ class CdnServer:
         backend: Optional[BackendService] = None,
         seed: int = 0,
         metrics: Optional[MetricsRegistry] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.server_id = server_id
+        #: fault injector consulted per request (None = no fault schedule);
+        #: queries are pure functions of (server id, arrival time), so the
+        #: same schedule applies on every shard layout (docs/FAULTS.md)
+        self.faults = faults
         self.backend_rtt_ms = backend_rtt_ms
         self.config = config or CdnServerConfig()
         self.backend = backend or BackendService()
@@ -136,6 +144,7 @@ class CdnServer:
             self._m_queue_wait = metrics.histogram("cdn.queue_wait_ms")
             self._m_serve_latency = metrics.histogram("cdn.serve_latency_ms")
             self._m_backend_latency = metrics.histogram("cdn.backend_latency_ms")
+            self._m_fault_requests = metrics.counter("faults.server_requests_total")
 
     # -- load tracking -------------------------------------------------------
 
@@ -198,6 +207,13 @@ class CdnServer:
         self.bytes_served += size_bytes
         cfg = self.config
         rng = self.rng
+        fault = (
+            self.faults.server_state(self.server_id, now_ms)
+            if self.faults is not None
+            else None
+        )
+        if fault is not None and self._metrics is not None:
+            self._m_fault_requests.inc()
 
         # Queue wait: negligible on a provisioned server; grows only under
         # overload (which the paper's fleet, and ours, rarely reaches).
@@ -205,26 +221,43 @@ class CdnServer:
         if self.load_estimate > 0.8:
             d_wait += float(rng.exponential(3.0)) * (self.load_estimate - 0.8) * 10.0
         d_open = bounded_lognormal(rng, cfg.open_mean_ms, 0.7, 0.01, 5.0)
+        if fault is not None:
+            d_wait = d_wait * fault.latency_mult + fault.wait_add_ms
+            d_open *= fault.latency_mult
 
-        status = self.cache.lookup(key, size_bytes)
-        self.status_counts[status] += 1
-        d_be = 0.0
-        retry_hit = False
-        if status is CacheStatus.HIT_RAM:
-            d_read = bounded_lognormal(rng, cfg.ram_read_mean_ms, 0.45, 0.2, 30.0)
-        elif status is CacheStatus.HIT_DISK:
-            # First open attempt fails (not in memory) -> async retry timer,
-            # then the actual disk seek+read.
-            retry_hit = True
-            d_read = cfg.retry_timer_ms + bounded_lognormal(
-                rng, cfg.disk_seek_mean_ms, 0.55, 0.5, 80.0
-            )
-        else:
+        if fault is not None and fault.bypass_cache:
+            # Cache brownout: the cache stack is out of the serving path —
+            # neither lookup nor admit touches it, so post-epoch cache
+            # state is exactly the pre-epoch state (and deterministic).
+            status = CacheStatus.MISS
+            self.status_counts[status] += 1
             retry_hit = True
             d_read = cfg.retry_timer_ms + bounded_lognormal(rng, 0.6, 0.5, 0.1, 10.0)
             d_be = self.backend.first_byte_latency_ms(self.backend_rtt_ms, rng)
             self.backend_fetches += 1
-            self.cache.admit(key, size_bytes, fetch_cost=d_be)
+        else:
+            status = self.cache.lookup(key, size_bytes)
+            self.status_counts[status] += 1
+            d_be = 0.0
+            retry_hit = False
+            if status is CacheStatus.HIT_RAM:
+                d_read = bounded_lognormal(rng, cfg.ram_read_mean_ms, 0.45, 0.2, 30.0)
+            elif status is CacheStatus.HIT_DISK:
+                # First open attempt fails (not in memory) -> async retry
+                # timer, then the actual disk seek+read.
+                retry_hit = True
+                d_read = cfg.retry_timer_ms + bounded_lognormal(
+                    rng, cfg.disk_seek_mean_ms, 0.55, 0.5, 80.0
+                )
+            else:
+                retry_hit = True
+                d_read = cfg.retry_timer_ms + bounded_lognormal(rng, 0.6, 0.5, 0.1, 10.0)
+                d_be = self.backend.first_byte_latency_ms(self.backend_rtt_ms, rng)
+                self.backend_fetches += 1
+                self.cache.admit(key, size_bytes, fetch_cost=d_be)
+        if fault is not None:
+            d_read *= fault.latency_mult
+            d_be *= fault.backend_mult
         return ServeResult(
             d_wait_ms=d_wait,
             d_open_ms=d_open,

@@ -17,14 +17,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
-from . import __version__, obs
+from . import __version__
 from .analysis import plotting
+from .api import run
 from .core import diagnose_dataset, evaluate_key_findings, filter_proxies, qoe, whatif
 from .simulation.config import SimulationConfig
-from .simulation.driver import simulate
-from .telemetry.io import load_dataset, save_dataset
+from .telemetry.io import load_dataset
 
 __all__ = ["main", "build_parser"]
 
@@ -68,6 +69,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", default=None, metavar="FILE",
         help="profile the run with cProfile and dump pstats data to FILE "
              "(with --workers >1 only the parent process is profiled)",
+    )
+    sim.add_argument(
+        "--faults", default=None, metavar="SPEC.json",
+        help="inject a seeded fault schedule from a FaultSpec JSON file; "
+             "ground-truth fault labels are stamped into the telemetry "
+             "(see docs/FAULTS.md and examples/fault_*.json)",
+    )
+
+    faultscore = commands.add_parser(
+        "faultscore",
+        help="score bottleneck localization against injected fault ground truth",
+    )
+    faultscore.add_argument(
+        "dataset", help="dataset directory from 'simulate --faults ...'"
+    )
+
+    scenario = commands.add_parser(
+        "scenario", help="run a canned multi-period incident scenario"
+    )
+    scenario.add_argument(
+        "name", help="scenario name (flash-crowd, cache-flush, backend-brownout)"
+    )
+    scenario.add_argument("--seed", type=int, default=29)
+    scenario.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the scenario across N worker processes",
+    )
+    scenario.add_argument(
+        "--out", default=None,
+        help="directory to persist per-period datasets (baseline/, incident/)",
     )
 
     analyze = commands.add_parser("analyze", help="QoE + bottleneck localization")
@@ -118,9 +149,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         shard_timeout_s=args.shard_timeout,
     )
     mode = "serially" if args.workers <= 1 else f"on {args.workers} shard workers"
+    injected = f", faults from {args.faults}" if args.faults else ""
     print(
         f"simulating {args.sessions} sessions (+{warmup} warmup), "
-        f"seed {args.seed}, {mode}..."
+        f"seed {args.seed}, {mode}{injected}..."
     )
     started = time.perf_counter()
     if args.profile:
@@ -128,20 +160,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         import pstats
 
         profiler = cProfile.Profile()
-        result = profiler.runcall(simulate, config)
+        result = profiler.runcall(run, config, faults=args.faults)
         profiler.dump_stats(args.profile)
         stats = pstats.Stats(profiler).sort_stats("cumulative")
         print(f"wrote cProfile data to {args.profile}; top stages:")
         stats.print_stats(10)
     else:
-        result = simulate(config)
+        result = run(config, faults=args.faults)
     wall_time_s = time.perf_counter() - started
-    path = save_dataset(result.dataset, args.out)
-    manifest_path = obs.save_run_manifest(result, args.out, wall_time_s=wall_time_s)
+    path = result.save(args.out, wall_time_s=wall_time_s)
     print(
         f"wrote {result.dataset.n_sessions} sessions / "
         f"{result.dataset.n_chunks} chunks to {path} "
-        f"(+ {manifest_path.name})"
+        f"(+ manifest.json)"
     )
     for report in result.shard_reports:
         status = "ok" if report.succeeded else f"FAILED ({report.error})"
@@ -152,11 +183,55 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"peak_rss={report.peak_rss_bytes / 1e6:.0f} MB [{status}]"
         )
     if args.metrics_out:
-        metrics_path = obs.write_metrics_document(result, args.metrics_out)
+        metrics_path = result.write_metrics_document(args.metrics_out)
         print(f"wrote metrics document to {metrics_path}")
     if result.metrics is not None:
         for name, total_s in result.metrics.tracer.totals():
             print(f"  span {name}: {total_s:.3f}s")
+    return 0
+
+
+def _cmd_faultscore(args: argparse.Namespace) -> int:
+    from .core.faultscore import score_fault_localization
+
+    dataset = load_dataset(args.dataset)
+    report = score_fault_localization(dataset)
+    print(report.format_report())
+    if report.n_labeled == 0:
+        print(
+            "no fault-labeled chunks in this dataset — was it produced by "
+            "'repro simulate --faults spec.json'?",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from .core import compare_datasets
+    from .simulation.scenarios import SCENARIOS, run_scenario
+
+    if args.name not in SCENARIOS:
+        print(
+            f"unknown scenario {args.name!r}; choose from "
+            f"{', '.join(sorted(SCENARIOS))}",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"running scenario {args.name!r}, seed {args.seed}, "
+          f"workers {args.workers}...")
+    outcome = run_scenario(
+        args.name, seed=args.seed, workers=args.workers
+    )
+    comparison = compare_datasets(outcome.baseline, outcome.incident)
+    print(comparison)
+    if args.out:
+        from .telemetry.io import save_dataset
+
+        base = Path(args.out)
+        save_dataset(outcome.baseline, base / "baseline")
+        save_dataset(outcome.incident, base / "incident")
+        print(f"wrote baseline/ and incident/ datasets under {base}")
     return 0
 
 
@@ -281,6 +356,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 _HANDLERS = {
     "simulate": _cmd_simulate,
+    "faultscore": _cmd_faultscore,
+    "scenario": _cmd_scenario,
     "analyze": _cmd_analyze,
     "findings": _cmd_findings,
     "experiment": _cmd_experiment,

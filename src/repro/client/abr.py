@@ -19,6 +19,7 @@ from typing import Deque, Optional, Sequence
 import numpy as np
 
 __all__ = [
+    "ABR_NAMES",
     "ChunkObservation",
     "AbrAlgorithm",
     "RateBasedAbr",
@@ -26,6 +27,10 @@ __all__ = [
     "HybridAbr",
     "make_abr",
 ]
+
+#: Every name :func:`make_abr` accepts (the registry config validation
+#: checks ``abr_name`` against).
+ABR_NAMES = ("rate", "buffer", "hybrid")
 
 
 @dataclass(frozen=True)
@@ -246,5 +251,5 @@ def make_abr(name: str, ladder_kbps: Sequence[int], **kwargs) -> AbrAlgorithm:
     try:
         factory = factories[name.lower()]
     except KeyError:
-        raise ValueError(f"unknown ABR {name!r}; choose from {sorted(factories)}") from None
+        raise ValueError(f"unknown ABR {name!r}; choose from {ABR_NAMES}") from None
     return factory(ladder_kbps, **kwargs)

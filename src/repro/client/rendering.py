@@ -86,8 +86,16 @@ class RenderingModel:
         visible: bool,
         bitrate_kbps: float,
         buffer_level_ms: float,
+        extra_drop_fraction: float = 0.0,
     ) -> float:
-        """Expected dropped-frame fraction for one chunk (before noise)."""
+        """Expected dropped-frame fraction for one chunk (before noise).
+
+        ``extra_drop_fraction`` is the fault-injection hook (a player
+        regression, docs/FAULTS.md): it is added after the model's own
+        terms, and only on the software-rendered visible path — hidden
+        players already drop on purpose and GPU pipelines are unaffected
+        by a software-renderer bug.
+        """
         if not visible:
             # Hidden tab / minimized window: frames dropped on purpose.
             return float(self.rng.uniform(0.6, 0.95))
@@ -105,7 +113,7 @@ class RenderingModel:
         decode_term = 0.004 * bitrate_kbps / 1000.0
         raw = self.platform.render_inefficiency * (rate_term + cpu_term + decode_term)
         noise = float(self.rng.lognormal(0.0, 0.35))
-        return float(np.clip(raw * noise, 0.0, 0.95))
+        return float(np.clip(raw * noise + extra_drop_fraction, 0.0, 0.95))
 
     def render_chunk(
         self,
@@ -114,11 +122,14 @@ class RenderingModel:
         bitrate_kbps: float,
         buffer_level_ms: float,
         chunk_duration_ms: float,
+        extra_drop_fraction: float = 0.0,
     ) -> RenderResult:
         """Render one chunk; returns frame statistics."""
         if chunk_duration_ms <= 0:
             raise ValueError("chunk_duration_ms must be positive")
-        fraction = self.drop_fraction(download_rate, visible, bitrate_kbps, buffer_level_ms)
+        fraction = self.drop_fraction(
+            download_rate, visible, bitrate_kbps, buffer_level_ms, extra_drop_fraction
+        )
         total_frames = max(1, int(round(self.fps * chunk_duration_ms / 1000.0)))
         dropped = int(round(fraction * total_frames))
         dropped = min(dropped, total_frames)

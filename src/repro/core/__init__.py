@@ -9,6 +9,7 @@ from . import (
     comparison,
     decomposition,
     downstack,
+    faultscore,
     localization,
     netdiag,
     perfscore,
@@ -20,6 +21,7 @@ from . import (
     whatif,
 )
 from .comparison import ComparisonReport, compare_datasets
+from .faultscore import FaultScoreReport, score_fault_localization
 from .localization import Bottleneck, diagnose_dataset, diagnose_session
 from .proxy_filter import ProxyFilterReport, filter_proxies
 from .report import FindingCheck, KeyFindingsReport, evaluate_key_findings
@@ -30,6 +32,9 @@ __all__ = [
     "ComparisonReport",
     "decomposition",
     "downstack",
+    "faultscore",
+    "FaultScoreReport",
+    "score_fault_localization",
     "localization",
     "netdiag",
     "perfscore",

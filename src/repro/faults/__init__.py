@@ -1,0 +1,52 @@
+"""repro.faults — seeded, declarative fault injection with ground truth.
+
+The paper's deliverable is a *localizer*: given joint player/CDN
+telemetry, name the layer (CDN server, network, client download stack,
+client rendering) responsible for each chunk's problem.  A localizer can
+only be trusted if its verdicts are scored against incidents with known
+ground truth — which production traces never have.  This package closes
+that loop for the simulator:
+
+* :mod:`repro.faults.spec` — a JSON-loadable :class:`FaultSpec` of timed
+  fault epochs (CDN degradation/overload, cache brownout, origin
+  slowdown, per-ISP/prefix latency+loss shifts, client rendering
+  regressions) with deterministic target selectors;
+* :mod:`repro.faults.injector` — applies the epochs inside the event loop
+  as pure functions of (stable id, sim time), preserving the sharding
+  record-identity contract, and stamps ground-truth ``fault_labels`` into
+  the telemetry;
+* :mod:`repro.core.faultscore` — grades localization verdicts against the
+  stamped labels (per-class precision/recall + confusion matrix).
+
+See docs/FAULTS.md for the spec schema and scoring semantics.
+"""
+
+from .injector import (
+    FaultInjector,
+    PathFaultState,
+    RenderFaultState,
+    ServerFaultState,
+    merge_labels,
+)
+from .spec import (
+    CLIENT_CLASSES,
+    FAULT_CLASSES,
+    NETWORK_CLASSES,
+    SERVER_CLASSES,
+    FaultEvent,
+    FaultSpec,
+)
+
+__all__ = [
+    "FAULT_CLASSES",
+    "SERVER_CLASSES",
+    "NETWORK_CLASSES",
+    "CLIENT_CLASSES",
+    "FaultEvent",
+    "FaultSpec",
+    "FaultInjector",
+    "ServerFaultState",
+    "PathFaultState",
+    "RenderFaultState",
+    "merge_labels",
+]

@@ -1,0 +1,250 @@
+"""Declarative fault specifications: *what* goes wrong, *where*, and *when*.
+
+A :class:`FaultSpec` is a JSON-loadable list of timed fault epochs.  Each
+:class:`FaultEvent` names a fault class (the failure mode), a sim-time
+window ``[start_ms, end_ms)``, a magnitude, and a deterministic target
+selector (explicit server ids / a stable-hash server fraction / ISP orgs /
+client prefixes / client OS platforms).  Everything is a pure value: no
+RNG, no wall clock, no process identity — so the same spec produces the
+same fault schedule on the serial event loop and on every shard worker
+(the determinism contract of docs/PARALLEL.md extends to faults, see
+docs/FAULTS.md).
+
+Fault classes and the layer they strike:
+
+* ``server-degraded``   — CDN server latency multiplies (slow disks, CPU
+  contention): D_wait/D_open/D_read scale by ``magnitude``;
+* ``server-overload``   — accept-queue wait grows: ``magnitude`` ms added
+  to D_wait;
+* ``cache-brownout``    — the cache stack is bypassed entirely: every
+  lookup misses and pays the backend (deploys, cache-process restarts);
+* ``origin-slowdown``   — backend/origin first-byte latency multiplies
+  (D_BE × ``magnitude``), felt only on misses;
+* ``network-latency``   — matching client paths see RTT × ``magnitude``;
+* ``network-loss``      — matching client paths add ``magnitude`` to the
+  per-segment loss probability (and halve their bandwidth share);
+* ``client-render``     — matching software-rendered players drop an extra
+  ``magnitude`` fraction of frames while visible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+from ..workload.randomness import stable_hash64
+
+__all__ = [
+    "FAULT_CLASSES",
+    "SERVER_CLASSES",
+    "NETWORK_CLASSES",
+    "CLIENT_CLASSES",
+    "FaultEvent",
+    "FaultSpec",
+]
+
+#: Every legal ``fault_class`` value, grouped by the layer it strikes.
+SERVER_CLASSES: Tuple[str, ...] = (
+    "server-degraded",
+    "server-overload",
+    "cache-brownout",
+    "origin-slowdown",
+)
+NETWORK_CLASSES: Tuple[str, ...] = ("network-latency", "network-loss")
+CLIENT_CLASSES: Tuple[str, ...] = ("client-render",)
+FAULT_CLASSES: Tuple[str, ...] = SERVER_CLASSES + NETWORK_CLASSES + CLIENT_CLASSES
+
+#: resolution of the stable-hash server_fraction selector
+_FRACTION_BUCKETS = 10_000
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault epoch.
+
+    Targeting is deterministic: ``servers`` pins explicit server ids,
+    ``server_fraction`` selects a stable-hash slice of the fleet (keyed by
+    ``(fault_id, server_id)``, so two events with different ids degrade
+    different slices), ``orgs``/``prefixes`` match client paths and
+    ``platforms`` match client OS names.  Empty selectors mean "all".
+    """
+
+    fault_id: str
+    fault_class: str
+    start_ms: float
+    end_ms: float
+    magnitude: float = 1.0
+    servers: Tuple[str, ...] = ()
+    server_fraction: float = 1.0
+    orgs: Tuple[str, ...] = ()
+    prefixes: Tuple[str, ...] = ()
+    platforms: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("servers", "orgs", "prefixes", "platforms"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        if not self.fault_id:
+            raise ValueError("fault_id must be non-empty")
+        if self.fault_class not in FAULT_CLASSES:
+            raise ValueError(
+                f"unknown fault_class {self.fault_class!r}; "
+                f"choose from {FAULT_CLASSES}"
+            )
+        if self.end_ms <= self.start_ms:
+            raise ValueError(
+                f"fault {self.fault_id!r}: end_ms ({self.end_ms}) must be "
+                f"after start_ms ({self.start_ms})"
+            )
+        if self.magnitude <= 0:
+            raise ValueError(f"fault {self.fault_id!r}: magnitude must be positive")
+        if not 0.0 < self.server_fraction <= 1.0:
+            raise ValueError(
+                f"fault {self.fault_id!r}: server_fraction must be in (0, 1]"
+            )
+        if self.fault_class in ("network-loss",) and self.magnitude >= 1.0:
+            raise ValueError(
+                f"fault {self.fault_id!r}: network-loss magnitude is a "
+                "probability and must be < 1"
+            )
+        if self.fault_class in CLIENT_CLASSES and self.magnitude > 1.0:
+            raise ValueError(
+                f"fault {self.fault_id!r}: client-render magnitude is a "
+                "dropped-frame fraction and must be <= 1"
+            )
+
+    # -- schedule -----------------------------------------------------------
+
+    def active_at(self, t_ms: float) -> bool:
+        """Is this epoch in effect at sim time *t_ms*?"""
+        return self.start_ms <= t_ms < self.end_ms
+
+    @property
+    def label(self) -> str:
+        """The ground-truth label stamped into telemetry: ``class:id``."""
+        return f"{self.fault_class}:{self.fault_id}"
+
+    # -- deterministic targeting -------------------------------------------
+
+    def targets_server(self, server_id: str) -> bool:
+        """Does this (server-layer) event strike *server_id*?"""
+        if self.fault_class not in SERVER_CLASSES:
+            return False
+        if self.servers:
+            return server_id in self.servers
+        if self.server_fraction >= 1.0:
+            return True
+        bucket = stable_hash64(f"fault|{self.fault_id}|{server_id}") % _FRACTION_BUCKETS
+        return bucket < int(self.server_fraction * _FRACTION_BUCKETS)
+
+    def targets_path(self, org: str, prefix_id: str) -> bool:
+        """Does this (network-layer) event strike the client path?"""
+        if self.fault_class not in NETWORK_CLASSES:
+            return False
+        if self.orgs and org not in self.orgs:
+            return False
+        if self.prefixes and prefix_id not in self.prefixes:
+            return False
+        return True
+
+    def targets_platform(self, os_name: str) -> bool:
+        """Does this (client-layer) event strike hosts running *os_name*?"""
+        if self.fault_class not in CLIENT_CLASSES:
+            return False
+        return not self.platforms or os_name in self.platforms
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A named, ordered collection of fault epochs (JSON-loadable)."""
+
+    name: str = "faults"
+    description: str = ""
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+        seen = set()
+        for event in self.events:
+            if event.fault_id in seen:
+                raise ValueError(f"duplicate fault_id {event.fault_id!r}")
+            seen.add(event.fault_id)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    # -- (de)serialization ---------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultSpec":
+        """Build a spec from a plain dict (the JSON schema of docs/FAULTS.md).
+
+        Event keys accept the short JSON names ``id``/``class`` as well as
+        the dataclass field names ``fault_id``/``fault_class``.
+        """
+        events = []
+        for raw in payload.get("events", ()):
+            entry = dict(raw)
+            if "id" in entry:
+                entry["fault_id"] = entry.pop("id")
+            if "class" in entry:
+                entry["fault_class"] = entry.pop("class")
+            for name in ("servers", "orgs", "prefixes", "platforms"):
+                if name in entry:
+                    entry[name] = tuple(entry[name])
+            events.append(FaultEvent(**entry))
+        return cls(
+            name=payload.get("name", "faults"),
+            description=payload.get("description", ""),
+            events=tuple(events),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-schema dict (inverse of :meth:`from_dict`)."""
+        events = []
+        for event in self.events:
+            entry: Dict[str, Any] = {
+                "id": event.fault_id,
+                "class": event.fault_class,
+                "start_ms": event.start_ms,
+                "end_ms": event.end_ms,
+                "magnitude": event.magnitude,
+            }
+            if event.servers:
+                entry["servers"] = list(event.servers)
+            if event.server_fraction < 1.0:
+                entry["server_fraction"] = event.server_fraction
+            if event.orgs:
+                entry["orgs"] = list(event.orgs)
+            if event.prefixes:
+                entry["prefixes"] = list(event.prefixes)
+            if event.platforms:
+                entry["platforms"] = list(event.platforms)
+            events.append(entry)
+        return {"name": self.name, "description": self.description, "events": events}
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultSpec":
+        """Load a spec from a JSON file."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise FileNotFoundError(f"fault spec not found: {path}") from None
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: invalid JSON: {error}") from error
+        return cls.from_dict(payload)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the spec as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path

@@ -17,9 +17,12 @@ jitter shape) and the chosen CDN PoP.  It produces:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # typing only: net must stay importable without faults
+    from ..faults.injector import PathFaultState
 
 from ..workload.clients import Prefix
 from ..workload.geo import GeoPoint, distance_km, propagation_rtt_ms
@@ -46,6 +49,14 @@ class NetworkPath:
     #: cross-traffic or access-link trouble that crushes the available
     #: bandwidth for seconds (the rebuffering-producing events)
     collapse_probability: float = 0.15
+    #: fault-injection overlay (docs/FAULTS.md): a deterministic function
+    #: of sim time returning the active network-fault state (or None).
+    #: Installed per session by the driver when a FaultSpec targets this
+    #: client's path; it consumes no RNG, so an un-faulted run's noise
+    #: streams are untouched.
+    fault_probe: Optional[Callable[[float], Optional["PathFaultState"]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     _episode_until_ms: float = field(default=-1.0, init=False, repr=False)
     _episode_rtt_mult: float = field(default=1.0, init=False, repr=False)
@@ -119,13 +130,23 @@ class NetworkPath:
         """Current latency inflation from the episode process (>= 1)."""
         return self._episode_state(now_ms)[0]
 
+    def _fault_state(self, now_ms: float) -> Optional["PathFaultState"]:
+        """Injected fault state at *now_ms* (None without a probe/epoch)."""
+        if self.fault_probe is None:
+            return None
+        return self.fault_probe(now_ms)
+
     def current_bottleneck_kbps(self, now_ms: float) -> float:
         """Bandwidth available to us at *now_ms*.
 
         During a congestion episode the bottleneck queue is shared with
         cross traffic, so our share of the link shrinks.
         """
-        return self.bottleneck_kbps / self._episode_state(now_ms)[1]
+        bandwidth = self.bottleneck_kbps / self._episode_state(now_ms)[1]
+        fault = self._fault_state(now_ms)
+        if fault is not None:
+            bandwidth /= fault.bw_div
+        return bandwidth
 
     def episode_loss_boost(self, now_ms: float) -> float:
         """Extra per-segment loss probability during congestion episodes.
@@ -152,7 +173,11 @@ class NetworkPath:
         """
         multiplier = self.congestion_multiplier(now_ms)
         noise = float(self.rng.lognormal(0.0, 0.08))  # small measurement noise
-        return self.base_rtt_ms * multiplier * noise
+        rtt = self.base_rtt_ms * multiplier * noise
+        fault = self._fault_state(now_ms)
+        if fault is not None:
+            rtt *= fault.rtt_mult
+        return rtt
 
     @property
     def bdp_bytes(self) -> float:
@@ -173,6 +198,9 @@ class NetworkPath:
         overshoot that concentrates losses in the first chunk (Fig. 15).
         """
         base = self.loss_rate + self.episode_loss_boost(now_ms)
+        fault = self._fault_state(now_ms)
+        if fault is not None:
+            base += fault.loss_add
         capacity = self.bdp_bytes + self.buffer_bytes
         if inflight_bytes <= capacity:
             return min(0.9, base)

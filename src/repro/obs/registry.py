@@ -204,6 +204,28 @@ METRIC_SPECS: Dict[str, MetricSpec] = _specs(
             "Chunks hit by a transient download-stack buffering burst "
             "(Eq. 4's detection target).", "§4.3 download stack",
         ),
+        # -- fault injection (docs/FAULTS.md) -------------------------------
+        MetricSpec(
+            "faults.server_requests_total", "counter", "requests",
+            "CDN requests served while a server-layer fault epoch was "
+            "active on the serving server.", "—",
+        ),
+        MetricSpec(
+            "faults.network_chunks_total", "counter", "chunks",
+            "Chunks whose request was issued while a network-layer fault "
+            "epoch was active on the client's path.", "—",
+        ),
+        MetricSpec(
+            "faults.render_chunks_total", "counter", "chunks",
+            "Visible software-rendered chunks completed while a "
+            "client-render fault epoch was active on the client's OS.", "—",
+        ),
+        MetricSpec(
+            "faults.labeled_chunks_total", "counter", "chunks",
+            "Chunks stamped with at least one ground-truth fault label "
+            "(warmup streams included; their labels are discarded with "
+            "the rest of the warmup telemetry).", "—",
+        ),
     ]
 )
 

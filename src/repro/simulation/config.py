@@ -11,9 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from ..cdn.mapping import VALID_STRATEGIES
 from ..cdn.server import CdnServerConfig
+from ..client.abr import ABR_NAMES
+from ..faults.spec import FaultSpec
 from ..workload.catalog import DEFAULT_BITRATE_LADDER_KBPS
 from ..workload.clients import PopulationConfig
+from .shard import SHARD_MODES
 
 __all__ = ["SimulationConfig"]
 
@@ -69,6 +73,13 @@ class SimulationConfig:
     # -- telemetry ---------------------------------------------------------------
     record_ground_truth: bool = True
 
+    # -- fault injection ---------------------------------------------------------
+    #: seeded fault schedule applied inside the event loop; ground-truth
+    #: labels are stamped into the telemetry (see docs/FAULTS.md).  Faults
+    #: are workload-semantic: they change *what* is simulated, so they are
+    #: part of the config hash, unlike the execution knobs below.
+    faults: Optional[FaultSpec] = None
+
     # -- execution ---------------------------------------------------------------
     # These knobs choose *how* the trace is computed, never *what* it is:
     # under the default ``server`` sharding the telemetry is identical for
@@ -95,6 +106,26 @@ class SimulationConfig:
             raise ValueError("prefetch_depth must be non-negative")
         if self.max_buffer_ms <= 0:
             raise ValueError("max_buffer_ms must be positive")
+        # Stringly-typed knobs are validated against their registries here,
+        # so a typo fails at construction with the valid values listed —
+        # not hundreds of sessions into the run.
+        if self.mapping_strategy not in VALID_STRATEGIES:
+            raise ValueError(
+                f"unknown mapping_strategy {self.mapping_strategy!r}; "
+                f"choose from {VALID_STRATEGIES}"
+            )
+        if self.abr_name not in ABR_NAMES:
+            raise ValueError(
+                f"unknown abr_name {self.abr_name!r}; choose from {ABR_NAMES}"
+            )
+        if self.shard_by not in SHARD_MODES:
+            raise ValueError(
+                f"unknown shard_by {self.shard_by!r}; choose from {SHARD_MODES}"
+            )
+        if self.faults is not None and not isinstance(self.faults, FaultSpec):
+            raise TypeError(
+                f"faults must be a FaultSpec (or None), got {type(self.faults).__name__}"
+            )
 
     def with_overrides(self, **kwargs) -> "SimulationConfig":
         """A copy with the given fields replaced (convenience for sweeps)."""

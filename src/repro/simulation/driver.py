@@ -16,6 +16,7 @@ from ..cdn.mapping import TrafficEngineering
 from ..cdn.pop import Deployment, build_default_deployment
 from ..cdn.server import CdnServer
 from ..client.abr import make_abr
+from ..faults.injector import FaultInjector
 from ..obs import publish_last_run
 from ..obs.registry import MetricsRegistry
 from ..telemetry.collector import TelemetryCollector
@@ -130,6 +131,11 @@ class Simulator:
         #: observability registry: one per run (or one per shard worker,
         #: merged deterministically by the parallel runner)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Fault injection: every shard rebuilds the same injector from the
+        # (pickled) config, and every injector query is a pure function of
+        # stable ids + sim time, so faults preserve the determinism
+        # contract for any worker count (docs/FAULTS.md).
+        self.faults = FaultInjector(config.faults) if config.faults else None
         world = world if world is not None else build_world(config)
         self.catalog = world.catalog
         self.population = world.population
@@ -149,6 +155,7 @@ class Simulator:
                     config=config.server,
                     seed=config.seed,
                     metrics=self.metrics,
+                    faults=self.faults,
                 )
         self._warmed = False
         self._clock_ms = 0.0
@@ -324,6 +331,7 @@ class Simulator:
                     collector=collector,
                     config=config,
                     metrics=self.metrics,
+                    faults=self.faults,
                 )
                 first_request_at = now_ms + actor.manifest_time_ms(now_ms)
                 loop.schedule(first_request_at, make_chunk_event(actor))

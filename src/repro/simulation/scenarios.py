@@ -24,11 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from dataclasses import replace
+
 from ..cdn.cache import TwoLevelCache
 from ..telemetry.dataset import Dataset
 from .config import SimulationConfig
 from .driver import Simulator
-from .parallel import ParallelSimulator, PeriodSpec, ShardReport, execute_periods
+from .parallel import PeriodSpec, ShardReport
 
 __all__ = ["ScenarioOutcome", "SCENARIOS", "run_scenario"]
 
@@ -135,21 +137,33 @@ def run_scenario(
     (each worker carries its slice of the fleet through baseline and
     incident); the datasets are canonically ordered and, under the default
     ``server`` sharding, identical to the serial run's records.
+
+    This is a thin wrapper over the unified :func:`repro.api.run` facade —
+    the scenario builder produces the period list, ``run(periods=...)``
+    executes it.
     """
+    from ..api import run
+
     try:
         builder = SCENARIOS[name]
     except KeyError:
         raise ValueError(
             f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
         ) from None
-    periods = builder(seed)
-    if workers <= 1:
-        datasets, simulator = execute_periods(periods)
-        return ScenarioOutcome(name, datasets[0], datasets[1], simulator)
-    runner = ParallelSimulator(
-        periods[0].config, workers=workers, shard_timeout_s=shard_timeout_s
-    )
-    datasets, _servers, reports = runner.run_periods(periods)
+    periods = [
+        replace(
+            period,
+            config=period.config.with_overrides(
+                workers=workers, shard_timeout_s=shard_timeout_s
+            ),
+        )
+        for period in builder(seed)
+    ]
+    result = run(periods=periods)
     return ScenarioOutcome(
-        name, datasets[0], datasets[1], simulator=None, shard_reports=reports
+        name,
+        result.period("baseline"),
+        result.period("incident"),
+        simulator=result.simulator,
+        shard_reports=result.shard_reports,
     )

@@ -27,6 +27,7 @@ from ..client.abr import AbrAlgorithm, ChunkObservation
 from ..client.buffer import PlaybackBuffer
 from ..client.downloadstack import DownloadStackModel
 from ..client.rendering import RenderingModel
+from ..faults.injector import FaultInjector, merge_labels
 from ..net.path import NetworkPath, build_session_path
 from ..net.tcp import TcpConnection
 from ..obs.registry import MetricsRegistry
@@ -58,6 +59,7 @@ class SessionActor:
         collector: TelemetryCollector,
         config: SimulationConfig,
         metrics: Optional[MetricsRegistry] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.plan = plan
         self.mapping = mapping
@@ -65,6 +67,7 @@ class SessionActor:
         self.abr = abr
         self.collector = collector
         self.config = config
+        self.faults = faults
         # Observability: chunk-lifecycle metrics (docs/OBSERVABILITY.md).
         self.metrics = metrics
         if metrics is not None:
@@ -73,6 +76,9 @@ class SessionActor:
             self._m_dfb = metrics.histogram("client.dfb_ms")
             self._m_dlb = metrics.histogram("client.dlb_ms")
             self._m_startup = metrics.histogram("client.startup_delay_ms")
+            self._m_fault_net = metrics.counter("faults.network_chunks_total")
+            self._m_fault_render = metrics.counter("faults.render_chunks_total")
+            self._m_fault_labeled = metrics.counter("faults.labeled_chunks_total")
 
         # Keyed by session id so warmup streams (different generator seed)
         # do not replay the measured sessions' noise.
@@ -84,6 +90,14 @@ class SessionActor:
             bandwidth_kbps=client.bandwidth_kbps,
             rng=self.rng,
         )
+        # Fault injection: overlay the injector on this session's path when
+        # some network epoch can strike it.  The probe is a pure function
+        # of sim time (no RNG), so TCP's RTT/bandwidth/loss sampling picks
+        # up the epochs without perturbing the un-faulted noise streams.
+        if faults is not None:
+            self.path.fault_probe = faults.path_probe(
+                client.prefix.org, client.prefix.prefix_id
+            )
         # Receiver windows vary by OS/tuning: many clients advertise modest
         # windows that keep TCP below the path's overflow point (these are
         # the paper's ~40% loss-free sessions).
@@ -207,12 +221,21 @@ class SessionActor:
             index, duration_ms, complete_ms
         )
         download_rate = duration_ms / max(dfb + dlb, 1e-6)
+        # Client-render fault epochs apply only where the regression bites:
+        # a visible, software-rendered chunk (hidden players drop frames on
+        # purpose; GPU pipelines bypass the buggy software renderer).
+        render_fault = None
+        if self.faults is not None and plan.visibility[index] and not plan.client.gpu:
+            render_fault = self.faults.render_state(
+                plan.client.platform.os, complete_ms
+            )
         render = self.renderer.render_chunk(
             download_rate=download_rate,
             visible=plan.visibility[index],
             bitrate_kbps=bitrate,
             buffer_level_ms=pre_append_level,
             chunk_duration_ms=duration_ms,
+            extra_drop_fraction=render_fault.drop_add if render_fault else 0.0,
         )
 
         # --- telemetry, both sides ---
@@ -253,6 +276,30 @@ class SessionActor:
             self._emit_tcp_snapshot(index, sample.t_ms)
         # §2.1: at least one snapshot per chunk — force one at transfer end.
         self._emit_tcp_snapshot(index, transfer_start + network_dlb)
+
+        # Ground-truth fault labels: re-query the same pure functions that
+        # produced the effects (server at request arrival, path at request
+        # time, renderer at completion) and stamp what actually struck.
+        fault_labels = ""
+        if self.faults is not None:
+            server_fault = self.faults.server_state(
+                self.server.server_id, now_ms + rtt0 / 2.0
+            )
+            path_fault = self.faults.path_state(
+                plan.client.prefix.org, plan.client.prefix.prefix_id, now_ms
+            )
+            fault_labels = merge_labels(
+                server_fault.labels if server_fault else (),
+                path_fault.labels if path_fault else (),
+                render_fault.labels if render_fault else (),
+            )
+            if self.metrics is not None:
+                if path_fault is not None:
+                    self._m_fault_net.inc()
+                if render_fault is not None:
+                    self._m_fault_render.inc()
+                if fault_labels:
+                    self._m_fault_labeled.inc()
         self.collector.add_ground_truth(
             ChunkGroundTruth(
                 session_id=plan.session_id,
@@ -264,6 +311,7 @@ class SessionActor:
                 segments_retx=transfer.segments_retx,
                 true_drop_fraction=render.dropped_fraction,
                 network_dlb_ms=network_dlb,
+                fault_labels=fault_labels,
             )
         )
 

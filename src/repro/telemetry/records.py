@@ -167,3 +167,8 @@ class ChunkGroundTruth:
     segments_retx: int
     true_drop_fraction: float
     network_dlb_ms: float  # D_LB before download-stack distortion
+    #: injected faults that actually struck this chunk, as a canonical
+    #: comma-joined "class:id" string ("" = no fault).  A plain string so
+    #: the record JSON-round-trips unchanged (docs/FAULTS.md); parse with
+    #: :func:`repro.core.faultscore.parse_fault_labels`.
+    fault_labels: str = ""

@@ -31,6 +31,7 @@ LINKED_DOCS = [
     "ROADMAP.md",
     "CHANGES.md",
     "docs/ARCHITECTURE.md",
+    "docs/FAULTS.md",
     "docs/OBSERVABILITY.md",
     "docs/PAPER_MAPPING.md",
     "docs/PARALLEL.md",
