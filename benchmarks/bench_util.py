@@ -2,9 +2,19 @@
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from typing import Any, Dict, Optional
+
 from repro import obs
 from repro.analysis.experiments import run_experiment
 from repro.analysis.experiments.base import ExperimentResult
+
+#: The repo-root perf trajectory file (see docs/PERFORMANCE.md).
+PERF_RECORD_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "BENCH_perf.json")
+)
 
 
 def attach_observability(benchmark) -> None:
@@ -34,6 +44,63 @@ def attach_observability(benchmark) -> None:
         if payload["count"]
     }
     benchmark.extra_info["obs_spans"] = capture["spans"]
+
+
+def span_totals() -> Dict[str, float]:
+    """Per-phase wall-clock totals (seconds) from the last run's obs spans.
+
+    Collapses the (name, parent) aggregate of :func:`repro.obs.last_run`
+    down to per-phase totals — the breakdown BENCH_perf.json records for
+    each timing entry.  Empty when no instrumented run has completed.
+    """
+    capture = obs.last_run()
+    if capture is None:
+        return {}
+    totals: Dict[str, float] = {}
+    for entry in capture["spans"]:
+        totals[entry["name"]] = totals.get(entry["name"], 0.0) + entry["total_s"]
+    return {name: round(total, 6) for name, total in sorted(totals.items())}
+
+
+def write_perf_record(
+    scenario: str,
+    wall_s: float,
+    *,
+    n_sessions: int,
+    n_chunks: int,
+    label: str = "run",
+    path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Append one timing record for *scenario* to ``BENCH_perf.json``.
+
+    The file is the repo's perf-regression trajectory: a map from scenario
+    name to the chronological list of recorded runs, each carrying the best
+    wall time, derived throughput, and the per-phase breakdown from the obs
+    spans (docs/OBSERVABILITY.md).  CI's perf-smoke job re-runs the pinned
+    workload, appends its entry, and uploads the file as an artifact, so a
+    hot-path regression shows up as a visible step in the time series.
+    """
+    target = path or PERF_RECORD_PATH
+    try:
+        with open(target, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        payload = {}
+    record: Dict[str, Any] = {
+        "label": label,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "wall_s": round(wall_s, 4),
+        "n_sessions": n_sessions,
+        "n_chunks": n_chunks,
+        "sessions_per_s": round(n_sessions / wall_s, 1),
+        "chunks_per_s": round(n_chunks / wall_s, 1),
+        "spans": span_totals(),
+    }
+    payload.setdefault(scenario, []).append(record)
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return record
 
 
 def run_and_report(benchmark, experiment_id: str, *args, **kwargs) -> ExperimentResult:

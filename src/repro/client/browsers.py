@@ -138,11 +138,23 @@ def get_profile(os: str, browser: str) -> PlatformProfile:
         raise KeyError(f"unknown platform {os}/{browser}") from None
 
 
-def sample_platform(rng: np.random.Generator) -> PlatformProfile:
-    """Sample a platform from the joint share table."""
+def _platform_cdf() -> np.ndarray:
     shares = np.asarray([p.share for p in PLATFORM_PROFILES], dtype=float)
     shares /= shares.sum()
-    return PLATFORM_PROFILES[int(rng.choice(len(PLATFORM_PROFILES), p=shares))]
+    cdf = shares.cumsum()
+    cdf /= cdf[-1]
+    return cdf
+
+
+#: precomputed sampling CDF — the exact array Generator.choice(p=...) would
+#: rebuild on every call; searchsorted over it consumes the same single
+#: uniform draw and yields the same index
+_PLATFORM_CDF = _platform_cdf()
+
+
+def sample_platform(rng: np.random.Generator) -> PlatformProfile:
+    """Sample a platform from the joint share table."""
+    return PLATFORM_PROFILES[int(_PLATFORM_CDF.searchsorted(rng.random(), side="right"))]
 
 
 def browser_shares_by_os() -> Dict[str, List[Tuple[str, float]]]:

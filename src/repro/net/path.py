@@ -16,8 +16,9 @@ jitter shape) and the chosen CDN PoP.  It produces:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
 import numpy as np
 
@@ -71,6 +72,11 @@ class NetworkPath:
             raise ValueError("bottleneck_kbps must be positive")
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
+        # Hot-path cache: bdp/buffer depend only on init-time fields, and the
+        # TCP model reads their sum once per round.  Computed with the exact
+        # float expression of the properties so comparisons are unchanged.
+        bdp = self.bottleneck_kbps * self.base_rtt_ms / 8.0
+        self._capacity_bytes = bdp + self.buffer_bdp_multiple * bdp
 
     # -- congestion-episode regime process ---------------------------------
 
@@ -161,6 +167,65 @@ class NetworkPath:
         if rtt_mult > 1.0:
             boost += 0.003 * min(rtt_mult - 1.0, 5.0)
         return min(0.06, boost)
+
+    def epoch_window(self, now_ms: float) -> "Tuple[float, float, float]":
+        """(rtt multiplier, bandwidth divisor, valid-until ms) at *now_ms*.
+
+        The returned state is constant until ``valid_until``: the end of the
+        active episode, or the next episode's onset when the path is calm.
+        This is the per-epoch cache the TCP fast path uses to advance many
+        loss-free rounds without re-deriving episode state each round.  The
+        window ignores the fault overlay — callers combining both must also
+        consult :attr:`fault_probe` (the TCP fast path simply declines when
+        a probe is installed).
+        """
+        self._advance_episodes(now_ms)
+        if now_ms < self._episode_until_ms:
+            return self._episode_rtt_mult, self._episode_bw_div, self._episode_until_ms
+        return 1.0, 1.0, self._next_episode_ms
+
+    def sample_round(
+        self, now_ms: float, inflight_bytes: float
+    ) -> "Tuple[float, float, float]":
+        """One TCP round's (rtt sample, bottleneck kbps, segment loss prob).
+
+        Value- and RNG-stream-identical to calling :meth:`sample_rtt`,
+        :meth:`current_bottleneck_kbps` and :meth:`segment_loss_probability`
+        at the same *now_ms*, but with a single episode-state advance and a
+        single fault-probe evaluation instead of three of each — this is the
+        consolidated query the TCP transfer loop issues once per round.
+        """
+        self._advance_episodes(now_ms)
+        if now_ms < self._episode_until_ms:
+            rtt_mult = self._episode_rtt_mult
+            bw_div = self._episode_bw_div
+        else:
+            rtt_mult = 1.0
+            bw_div = 1.0
+        # exp(0.08 * z) consumes and transforms the stream exactly as
+        # rng.lognormal(0.0, 0.08) does (one standard normal draw).
+        noise = math.exp(0.08 * float(self.rng.standard_normal()))
+        rtt = self.base_rtt_ms * rtt_mult * noise
+        bandwidth = self.bottleneck_kbps / bw_div
+        boost = 0.0
+        if bw_div > 1.0:
+            boost += 0.012 * (bw_div - 1.0)
+        if rtt_mult > 1.0:
+            boost += 0.003 * min(rtt_mult - 1.0, 5.0)
+        base = self.loss_rate + min(0.06, boost)
+        if self.fault_probe is not None:
+            fault = self.fault_probe(now_ms)
+            if fault is not None:
+                rtt *= fault.rtt_mult
+                bandwidth /= fault.bw_div
+                base += fault.loss_add
+        capacity = self._capacity_bytes
+        if inflight_bytes <= capacity:
+            loss_p = min(0.9, base)
+        else:
+            overflow_fraction = (inflight_bytes - capacity) / max(inflight_bytes, 1.0)
+            loss_p = min(0.9, base + overflow_fraction)
+        return rtt, bandwidth, loss_p
 
     # -- sampling -----------------------------------------------------------
 

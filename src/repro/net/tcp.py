@@ -21,8 +21,9 @@ the right fidelity for chunk-level analysis:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -35,6 +36,21 @@ DEFAULT_MSS = 1460
 RTO_FLOOR_MS = 200.0
 #: Safety cap on the congestion window (segments): ~6 MB of in-flight data.
 MAX_CWND_SEGMENTS = 4096
+
+#: RFC 6298 EWMA gains iterated n times collapse to these closed-form
+#: factors: after n per-ACK updates with a constant sample,
+#: ``srtt_n = sample + (srtt_0 - sample) * 0.875**n`` and
+#: ``rttvar_n = 0.75**n * rttvar_0 + 2 * (0.875**n - 0.75**n) * |srtt_0 - sample|``
+#: (geometric sum of the decaying |srtt_k - sample| terms).  Convergence
+#: saturates, so updates are capped at 16 iterations as before.
+_OBSERVE_CAP = 16
+_POW_SRTT = tuple(0.875**n for n in range(_OBSERVE_CAP + 1))
+_POW_VAR = tuple(0.75**n for n in range(_OBSERVE_CAP + 1))
+
+#: Fast-path guard: per-round RTT noise is exp(0.08 * z); a batch is sized
+#: assuming noise <= exp(0.08 * 12) so that it cannot reach the next
+#: congestion-episode boundary (P(z > 12) ~ 1.8e-33 — unreachable).
+_NOISE_BOUND = math.exp(0.08 * 12.0)
 
 
 @dataclass(frozen=True)
@@ -138,9 +154,12 @@ class TcpConnection:
             self.srtt_ms = sample_ms
             self.rttvar_ms = sample_ms / 2.0
             return
-        for _ in range(min(n_acks, 16)):
-            self.rttvar_ms = 0.75 * self.rttvar_ms + 0.25 * abs(self.srtt_ms - sample_ms)
-            self.srtt_ms = 0.875 * self.srtt_ms + 0.125 * sample_ms
+        n = n_acks if n_acks < _OBSERVE_CAP else _OBSERVE_CAP
+        a = _POW_SRTT[n]
+        b = _POW_VAR[n]
+        delta = self.srtt_ms - sample_ms
+        self.rttvar_ms = b * self.rttvar_ms + 2.0 * (a - b) * abs(delta)
+        self.srtt_ms = sample_ms + delta * a
 
     @property
     def rto_ms(self) -> float:
@@ -186,29 +205,64 @@ class TcpConnection:
         if self._next_snapshot_ms is None or now_ms > self._next_snapshot_ms:
             self._next_snapshot_ms = now_ms + self.snapshot_interval_ms
 
-        remaining = int(np.ceil(nbytes / self.mss))
+        mss = self.mss
+        path = self.path
+        rng = self.rng
+        max_win = self.max_window_segments
+        remaining = -(-nbytes // mss)  # integer ceil; same value as np.ceil
         t = now_ms
         samples: List[TcpStateSample] = []
         sent = 0
         retx = 0
         rounds = 0
         min_rtt = float("inf")
+        # Loss-free batching is legal only when the path cannot randomly
+        # drop segments and no fault overlay is installed; rounds whose
+        # window would overrun the bottleneck queue (overflow loss) are
+        # excluded per round by the batch planner itself.
+        can_batch = path.loss_rate == 0.0 and path.fault_probe is None
 
         while remaining > 0:
+            # -- analytic fast path: advance loss-free rounds inside one
+            # calm epoch window without touching numpy per round.  Each
+            # round still draws its own RTT-noise normal (batched:
+            # identical stream), so the RNG draw order matches the
+            # general loop exactly.
+            if can_batch:
+                mult, bw_div, valid_until = path.epoch_window(t)
+                if mult == 1.0 and bw_div == 1.0:
+                    t, remaining, sent_k, rounds_k, batch_min_rtt = (
+                        self._advance_loss_free_rounds(
+                            t, remaining, valid_until, samples
+                        )
+                    )
+                    if rounds_k:
+                        rounds += rounds_k
+                        sent += sent_k
+                        if batch_min_rtt < min_rtt:
+                            min_rtt = batch_min_rtt
+                        continue
+                    # rounds_k == 0: the epoch boundary is too close to
+                    # guarantee a loss-free round — take one general round.
+
+            inflight = min(int(self.cwnd), max_win, remaining)
+            if inflight < 1:
+                inflight = 1
+
             rounds += 1
-            inflight = min(int(self.cwnd), self.max_window_segments, remaining)
-            inflight = max(inflight, 1)
-            inflight_bytes = inflight * self.mss
-            base_rtt = self.path.sample_rtt(t)
-            min_rtt = min(min_rtt, base_rtt)
+            inflight_bytes = inflight * mss
+            base_rtt, bottleneck_kbps, loss_p = path.sample_round(
+                t, float(inflight_bytes)
+            )
+            if base_rtt < min_rtt:
+                min_rtt = base_rtt
             # Self-loading: serializing the window at the bottleneck adds
             # queueing delay that the kernel's RTT samples *do* see.
-            serialization_ms = inflight_bytes * 8.0 / self.path.current_bottleneck_kbps(t)
+            serialization_ms = inflight_bytes * 8.0 / bottleneck_kbps
             observed_rtt = base_rtt + serialization_ms
             round_time = observed_rtt
 
-            loss_p = self.path.segment_loss_probability(float(inflight_bytes), t)
-            losses = int(self.rng.binomial(inflight, loss_p)) if loss_p > 0 else 0
+            losses = int(rng.binomial(inflight, loss_p)) if loss_p > 0 else 0
             sent += inflight + losses
             if losses > 0:
                 retx += losses
@@ -224,7 +278,7 @@ class TcpConnection:
                 else:
                     # Fast retransmit / fast recovery: one extra round,
                     # window halves.
-                    round_time += self.path.sample_rtt(t + observed_rtt)
+                    round_time += path.sample_rtt(t + observed_rtt)
                     self.ssthresh = max(inflight / 2.0, 2.0)
                     self.cwnd = self.ssthresh
             else:
@@ -239,7 +293,8 @@ class TcpConnection:
             remaining -= inflight  # lost segments are recovered within the round
             self.bytes_acked_total += inflight_bytes
             t += round_time
-            self._maybe_snapshot(t, samples)
+            if self._next_snapshot_ms is not None and t >= self._next_snapshot_ms:
+                self._maybe_snapshot(t, samples)
 
         self.segments_sent_total += sent
         self._last_send_ms = t
@@ -252,3 +307,130 @@ class TcpConnection:
             min_rtt_ms=min_rtt,
             samples=samples,
         )
+
+    def _advance_loss_free_rounds(
+        self,
+        t: float,
+        remaining: int,
+        valid_until: float,
+        samples: List[TcpStateSample],
+    ) -> Tuple[float, int, int, int, float]:
+        """Advance as many loss-free rounds as provably fit before
+        *valid_until*, analytically.
+
+        Value-identical to the same rounds of the general loop in the calm
+        regime (rtt multiplier 1.0, bandwidth divisor 1.0, zero loss
+        probability): per-round noise comes from the same path RNG stream
+        (one batched draw equals *k* scalar draws), the window grows with
+        the same clamped updates, and SRTT/RTTVAR apply the same
+        closed-form RFC 6298 step with the round's own in-flight ACK
+        count.  The plan is sized so that even at the +12σ noise bound no
+        batched round can reach *valid_until*, hence no congestion-episode
+        state (or RNG draw for one) can be missed.
+
+        Returns ``(new_t, new_remaining, segments_sent, rounds, min_rtt)``;
+        ``rounds == 0`` means no loss-free round could be guaranteed (the
+        boundary is too close, or the very next window would overrun the
+        bottleneck queue) and the caller must fall back to the general loop.
+        """
+        path = self.path
+        base_ms = path.base_rtt_ms
+        bottleneck = path.bottleneck_kbps
+        capacity_bytes = path._capacity_bytes
+        max_win = self.max_window_segments
+        mss = self.mss
+        growth = self.slow_start_growth
+        cwnd_cap = float(MAX_CWND_SEGMENTS)
+        ssthresh = self.ssthresh
+
+        # Plan pass: replay the deterministic window/remaining arithmetic
+        # to count the rounds that fit under the worst-case noise bound.
+        plan: List[Tuple[int, float]] = []
+        cwnd = self.cwnd
+        rem = remaining
+        worst_t = t
+        worst_base_ms = base_ms * _NOISE_BOUND
+        while rem > 0:
+            inflight = int(cwnd)
+            if inflight > max_win:
+                inflight = max_win
+            if inflight > rem:
+                inflight = rem
+            if inflight < 1:
+                inflight = 1
+            inflight_bytes = inflight * mss
+            if inflight_bytes > capacity_bytes:
+                # this window overruns the bottleneck queue: overflow loss
+                # becomes possible, so the general loop must take over
+                break
+            serialization_ms = inflight_bytes * 8.0 / bottleneck
+            worst_t += worst_base_ms + serialization_ms
+            if worst_t > valid_until:
+                break
+            plan.append((inflight, serialization_ms))
+            if cwnd < ssthresh:
+                cwnd = cwnd * growth
+            else:
+                cwnd = cwnd + 1.0
+            if cwnd > cwnd_cap:
+                cwnd = cwnd_cap
+            rem -= inflight
+        k = len(plan)
+        if k == 0:
+            return t, remaining, 0, 0, float("inf")
+
+        # One batched draw produces the same values, in the same order, as
+        # k scalar standard_normal() calls on the path's generator.
+        noise_z = path.rng.standard_normal(k).tolist()
+        pow_srtt = _POW_SRTT
+        pow_var = _POW_VAR
+        exp_ = math.exp
+        srtt = self.srtt_ms
+        rttvar = self.rttvar_ms
+        cwnd = self.cwnd
+        next_snap = self._next_snapshot_ms
+        interval = self.snapshot_interval_ms
+        retx_total = self.retx_total
+        min_rtt = float("inf")
+        sent = 0
+        for (inflight, serialization_ms), z in zip(plan, noise_z):
+            rtt = base_ms * exp_(0.08 * z)
+            if rtt < min_rtt:
+                min_rtt = rtt
+            observed = rtt + serialization_ms
+            if cwnd < ssthresh:
+                cwnd = cwnd * growth
+            else:
+                cwnd = cwnd + 1.0
+            if cwnd > cwnd_cap:
+                cwnd = cwnd_cap
+            if srtt is None:
+                srtt = observed
+                rttvar = observed / 2.0
+            else:
+                n = inflight if inflight < _OBSERVE_CAP else _OBSERVE_CAP
+                a = pow_srtt[n]
+                b = pow_var[n]
+                delta = srtt - observed
+                rttvar = b * rttvar + 2.0 * (a - b) * abs(delta)
+                srtt = observed + delta * a
+            sent += inflight
+            t += observed
+            while next_snap is not None and t >= next_snap:
+                samples.append(
+                    TcpStateSample(
+                        t_ms=next_snap,
+                        cwnd_segments=int(cwnd),
+                        srtt_ms=srtt,
+                        rttvar_ms=rttvar,
+                        retx_total=retx_total,
+                        mss=mss,
+                    )
+                )
+                next_snap += interval
+        self.srtt_ms = srtt
+        self.rttvar_ms = rttvar
+        self.cwnd = cwnd
+        self.bytes_acked_total += sent * mss
+        self._next_snapshot_ms = next_snap
+        return t, remaining - sent, sent, k, min_rtt

@@ -333,18 +333,18 @@ class Simulator:
                     metrics=self.metrics,
                     faults=self.faults,
                 )
+                # One chunk callback per session, rescheduling itself: the
+                # previous closure-per-chunk allocated a fresh function and
+                # cell for every event on the hot path.
+                def on_chunk(now_ms: float, actor: SessionActor = actor) -> None:
+                    next_at = actor.process_chunk(now_ms)
+                    if next_at is not None:
+                        loop.schedule(next_at, on_chunk)
+
                 first_request_at = now_ms + actor.manifest_time_ms(now_ms)
-                loop.schedule(first_request_at, make_chunk_event(actor))
+                loop.schedule(first_request_at, on_chunk)
 
             return on_start
-
-        def make_chunk_event(actor: SessionActor):
-            def on_chunk(now_ms: float) -> None:
-                next_at = actor.process_chunk(now_ms)
-                if next_at is not None:
-                    loop.schedule(next_at, make_chunk_event(actor))
-
-            return on_chunk
 
         for plan in generator.generate(n_sessions, start_ms=start_ms):
             if self.shard is not None and not self._owns_plan(plan):

@@ -68,14 +68,25 @@ class EventLoop:
         span = self._metrics.span("engine.run") if self._metrics else nullcontext()
         try:
             with span:
-                while self._heap:
-                    at_ms, _, callback = self._heap[0]
-                    if until_ms is not None and at_ms > until_ms:
-                        break
-                    heapq.heappop(self._heap)
-                    self._now = at_ms
-                    callback(at_ms)
-                    self.events_processed += 1
+                # Hot loop: locals for the heap and heappop, and the
+                # unbounded case split out so the common path does no
+                # until_ms comparison and no peek-then-pop double access.
+                heap = self._heap
+                heappop = heapq.heappop
+                if until_ms is None:
+                    while heap:
+                        at_ms, _, callback = heappop(heap)
+                        self._now = at_ms
+                        callback(at_ms)
+                        self.events_processed += 1
+                else:
+                    while heap:
+                        if heap[0][0] > until_ms:
+                            break
+                        at_ms, _, callback = heappop(heap)
+                        self._now = at_ms
+                        callback(at_ms)
+                        self.events_processed += 1
         finally:
             self._running = False
             if self._metrics is not None:

@@ -79,6 +79,9 @@ class SessionActor:
             self._m_fault_net = metrics.counter("faults.network_chunks_total")
             self._m_fault_render = metrics.counter("faults.render_chunks_total")
             self._m_fault_labeled = metrics.counter("faults.labeled_chunks_total")
+            # One span handle per actor: handles are sequentially reusable,
+            # and the per-call name validation is off the chunk hot path.
+            self._span_chunk = metrics.span("session.chunk")
 
         # Keyed by session id so warmup streams (different generator seed)
         # do not replay the measured sessions' noise.
@@ -173,7 +176,7 @@ class SessionActor:
         """
         if self.metrics is None:
             return self._process_chunk(now_ms)
-        with self.metrics.span("session.chunk"):
+        with self._span_chunk:
             return self._process_chunk(now_ms)
 
     def _process_chunk(self, now_ms: float) -> Optional[float]:
@@ -272,10 +275,42 @@ class SessionActor:
                 served_at_ms=now_ms + rtt0 / 2.0,
             )
         )
+        # Snapshots stamp the connection's *current* (post-transfer) state at
+        # the sampled times; the state fields are invariant across the loop,
+        # so build them once instead of one state_sample() call per record.
+        tcp = self.tcp
+        snap_cwnd = int(tcp.cwnd)
+        snap_srtt = tcp.srtt_ms if tcp.srtt_ms is not None else 0.0
+        snap_rttvar = tcp.rttvar_ms
+        snap_retx = tcp.retx_total
+        snap_mss = tcp.mss
+        add_tcp_snapshot = self.collector.add_tcp_snapshot
         for sample in transfer.samples:
-            self._emit_tcp_snapshot(index, sample.t_ms)
+            add_tcp_snapshot(
+                TcpInfoRecord(
+                    session_id=plan.session_id,
+                    chunk_id=index,
+                    t_ms=sample.t_ms,
+                    cwnd_segments=snap_cwnd,
+                    srtt_ms=snap_srtt,
+                    rttvar_ms=snap_rttvar,
+                    retx_total=snap_retx,
+                    mss=snap_mss,
+                )
+            )
         # §2.1: at least one snapshot per chunk — force one at transfer end.
-        self._emit_tcp_snapshot(index, transfer_start + network_dlb)
+        add_tcp_snapshot(
+            TcpInfoRecord(
+                session_id=plan.session_id,
+                chunk_id=index,
+                t_ms=transfer_start + network_dlb,
+                cwnd_segments=snap_cwnd,
+                srtt_ms=snap_srtt,
+                rttvar_ms=snap_rttvar,
+                retx_total=snap_retx,
+                mss=snap_mss,
+            )
+        )
 
         # Ground-truth fault labels: re-query the same pure functions that
         # produced the effects (server at request arrival, path at request
@@ -330,21 +365,6 @@ class SessionActor:
         level_after = self.buffer.level_at(complete_ms)
         wait = max(0.0, level_after - self.config.max_buffer_ms)
         return complete_ms + wait
-
-    def _emit_tcp_snapshot(self, chunk_id: int, t_ms: float) -> None:
-        state = self.tcp.state_sample(t_ms)
-        self.collector.add_tcp_snapshot(
-            TcpInfoRecord(
-                session_id=self.plan.session_id,
-                chunk_id=chunk_id,
-                t_ms=t_ms,
-                cwnd_segments=state.cwnd_segments,
-                srtt_ms=state.srtt_ms,
-                rttvar_ms=state.rttvar_ms,
-                retx_total=state.retx_total,
-                mss=state.mss,
-            )
-        )
 
     def _prefetch_following(self, index: int, bitrate: float) -> None:
         """§4.1-2 extension: warm the next chunks after the first miss."""

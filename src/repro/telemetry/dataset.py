@@ -9,6 +9,7 @@ analysis in :mod:`repro.core` operates on the joined views.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -254,17 +255,51 @@ class Dataset:
         return merged.sorted() if canonicalize else merged
 
     @classmethod
-    def merge_all(cls, datasets: Iterable["Dataset"], canonicalize: bool = True) -> "Dataset":
+    def merge_all(
+        cls,
+        datasets: Iterable["Dataset"],
+        canonicalize: bool = True,
+        assume_sorted: bool = False,
+    ) -> "Dataset":
         """Merge any number of datasets; canonically ordered by default.
 
         This is the merge the sharded runner uses: shard outputs arrive in
         nondeterministic completion order, and canonicalization makes the
         result independent of both that order and the shard count.
+
+        Canonicalization is a k-way :func:`heapq.merge` of per-input sorted
+        lists — O(N log k) instead of concatenate-then-resort's O(N log N).
+        Both ``heapq.merge`` and :meth:`sorted` are stable with ties broken
+        by input position, so the result is identical to the old
+        concatenate-then-stable-sort.  ``assume_sorted=True`` skips the
+        per-input :meth:`sorted` pass for producers (shard workers) whose
+        outputs are already canonically ordered.
         """
-        merged = cls()
-        for dataset in datasets:
-            merged = merged.merge(dataset)
-        return merged.sorted() if canonicalize else merged
+        inputs = list(datasets)
+        if not canonicalize:
+            merged = cls()
+            for dataset in inputs:
+                merged = merged.merge(dataset)
+            return merged
+        if not assume_sorted:
+            inputs = [dataset.sorted() for dataset in inputs]
+        by_chunk = lambda r: (r.session_id, r.chunk_id)  # noqa: E731
+        by_session = lambda r: r.session_id  # noqa: E731
+
+        def kway(lists, key):
+            return list(heapq.merge(*lists, key=key))
+
+        return cls(
+            player_chunks=kway((d.player_chunks for d in inputs), by_chunk),
+            cdn_chunks=kway((d.cdn_chunks for d in inputs), by_chunk),
+            tcp_snapshots=kway(
+                (d.tcp_snapshots for d in inputs),
+                lambda r: (r.session_id, r.chunk_id, r.t_ms),
+            ),
+            player_sessions=kway((d.player_sessions for d in inputs), by_session),
+            cdn_sessions=kway((d.cdn_sessions for d in inputs), by_session),
+            ground_truth=kway((d.ground_truth for d in inputs), by_chunk),
+        )
 
     def sorted(self) -> "Dataset":
         """A copy with every record list in canonical order.

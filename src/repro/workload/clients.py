@@ -43,6 +43,26 @@ RESIDENTIAL_US_ISPS: Tuple[str, ...] = (
 )
 
 
+def _sampling_cdf(probabilities: Sequence[float]) -> np.ndarray:
+    """The exact CDF array ``Generator.choice(p=...)`` builds per call.
+
+    ``cdf.searchsorted(rng.random(), side="right")`` consumes the same
+    single uniform draw and returns the same index as the equivalent
+    ``rng.choice`` — precomputing it keeps hot sampling sites off numpy's
+    per-call validation and cumsum.
+    """
+    p = np.asarray(probabilities, dtype=float)
+    cdf = p.cumsum()
+    cdf /= cdf[-1]
+    return cdf
+
+
+_CONN_TYPES: Tuple[str, ...] = ("cable", "fiber", "dsl")
+_CONN_CDF = _sampling_cdf([0.6, 0.25, 0.15])
+_CPU_CORES: Tuple[int, ...] = (2, 4, 8)
+_CPU_CDF = _sampling_cdf([0.35, 0.45, 0.20])
+
+
 @dataclass(frozen=True)
 class Prefix:
     """A /24 client prefix with stable path characteristics.
@@ -148,10 +168,10 @@ def _residential_prefix(
 ) -> Prefix:
     """Build a residential prefix: low jitter, moderate access latency."""
     if country == "US":
-        org = str(rng.choice(RESIDENTIAL_US_ISPS))
+        org = RESIDENTIAL_US_ISPS[int(rng.integers(0, len(RESIDENTIAL_US_ISPS)))]
     else:
         org = f"ISP-{country}-{int(rng.integers(1, 4))}"
-    conn_type = str(rng.choice(["cable", "fiber", "dsl"], p=[0.6, 0.25, 0.15]))
+    conn_type = _CONN_TYPES[int(_CONN_CDF.searchsorted(rng.random(), side="right"))]
     access_rtt = {
         "cable": bounded_lognormal(rng, 14.0, 0.4, 4.0, 60.0),
         "fiber": bounded_lognormal(rng, 6.0, 0.3, 2.0, 25.0),
@@ -230,6 +250,7 @@ class ClientPopulation:
     prefixes: Sequence[Prefix]
     config: PopulationConfig
     _weights: np.ndarray = field(init=False, repr=False)
+    _cdf: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.prefixes:
@@ -239,15 +260,20 @@ class ClientPopulation:
         rng = spawn(self.config.seed, "prefix-weights")
         weights = rng.pareto(2.0, size=len(self.prefixes)) + 1.0
         self._weights = weights / weights.sum()
+        # Sampling CDF precomputed once: rng.choice(p=...) cumsums the full
+        # 4000-element weight vector on every single session otherwise.
+        self._cdf = self._weights.cumsum()
+        self._cdf /= self._cdf[-1]
 
     def sample_client(self, rng: np.random.Generator) -> Client:
         """Sample a session's client: prefix, host, platform, resources."""
-        prefix = self.prefixes[int(rng.choice(len(self.prefixes), p=self._weights))]
+        prefix = self.prefixes[int(self._cdf.searchsorted(rng.random(), side="right"))]
         platform = sample_platform(rng)
         gpu = bool(rng.random() < 0.35)
-        cpu_cores = int(rng.choice([2, 4, 8], p=[0.35, 0.45, 0.20]))
+        cpu_cores = _CPU_CORES[int(_CPU_CDF.searchsorted(rng.random(), side="right"))]
         # Background CPU load: usually light, occasionally heavy.
-        cpu_background_load = float(np.clip(rng.beta(1.3, 6.0), 0.0, 0.95))
+        beta = float(rng.beta(1.3, 6.0))
+        cpu_background_load = 0.0 if beta < 0.0 else (0.95 if beta > 0.95 else beta)
         bandwidth = bounded_lognormal(
             rng, prefix.bandwidth_mean_kbps, 0.35, 1_000.0, 1_000_000.0
         )
@@ -279,13 +305,15 @@ def generate_population(config: Optional[PopulationConfig] = None) -> ClientPopu
     org_names = [f"Enterprise#{i + 1}" for i in range(config.n_enterprises)]
     org_sizes = np.random.default_rng(config.seed + 1).pareto(1.2, config.n_enterprises) + 1.0
     org_sizes /= org_sizes.sum()
+    org_cdf = org_sizes.cumsum()
+    org_cdf /= org_cdf[-1]
     org_cities = [geo.sample_city(rng, geo.US_CLIENT_CITIES) for _ in org_names]
 
     prefixes: List[Prefix] = []
     for index in range(config.n_prefixes):
         enterprise = rng.random() < config.enterprise_fraction
         if enterprise:
-            org_index = int(rng.choice(len(org_names), p=org_sizes))
+            org_index = int(org_cdf.searchsorted(rng.random(), side="right"))
             bad_path = rng.random() < config.enterprise_bad_path_fraction
             proxied = rng.random() < config.enterprise_proxy_fraction
             prefixes.append(

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -194,19 +194,43 @@ INTL_CLIENT_CITIES: Tuple[City, ...] = (
 )
 
 
-def sample_city(rng: np.random.Generator, cities: Sequence[City]) -> City:
-    """Sample a city proportionally to its population weight."""
+#: sampling-CDF cache keyed by pool identity.  Keying on id() instead of
+#: hashing avoids re-hashing every City in the pool per sample (the city
+#: pools are module-level constants, so identity is stable); the cached
+#: pool reference keeps each key's id from being recycled.
+_CITY_CDF_CACHE: Dict[int, Tuple[Sequence[City], np.ndarray]] = {}
+
+
+def _city_cdf(cities: Sequence[City]) -> np.ndarray:
+    """Cached sampling CDF for a city pool (the exact array
+    ``Generator.choice(p=...)`` would build internally on every call)."""
+    cached = _CITY_CDF_CACHE.get(id(cities))
+    if cached is not None and cached[0] is cities:
+        return cached[1]
     weights = np.asarray([c.weight for c in cities], dtype=float)
     weights /= weights.sum()
-    return cities[int(rng.choice(len(cities), p=weights))]
+    cdf = weights.cumsum()
+    cdf /= cdf[-1]
+    _CITY_CDF_CACHE[id(cities)] = (cities, cdf)
+    return cdf
+
+
+def sample_city(rng: np.random.Generator, cities: Sequence[City]) -> City:
+    """Sample a city proportionally to its population weight."""
+    # searchsorted over the cached CDF consumes one uniform draw — the
+    # same draw, producing the same index, as rng.choice(len, p=weights).
+    cdf = _city_cdf(cities)
+    return cities[int(cdf.searchsorted(rng.random(), side="right"))]
 
 
 def jittered_point(rng: np.random.Generator, city: City, spread_km: float = 25.0) -> GeoPoint:
     """Place a point near *city* with Gaussian jitter of ~spread_km."""
     # 1 degree latitude ~ 111 km; longitude scaled by cos(lat).
-    dlat = rng.normal(0.0, spread_km / 111.0)
+    # scale * standard_normal() is rng.normal(0.0, scale) without numpy's
+    # scalar-broadcast overhead (same single draw, same value).
+    dlat = (spread_km / 111.0) * float(rng.standard_normal())
     coslat = max(0.1, math.cos(math.radians(city.lat)))
-    dlon = rng.normal(0.0, spread_km / (111.0 * coslat))
+    dlon = (spread_km / (111.0 * coslat)) * float(rng.standard_normal())
     return GeoPoint(lat=city.lat + dlat, lon=city.lon + dlon, city=city.name, country=city.country)
 
 

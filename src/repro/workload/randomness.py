@@ -12,6 +12,7 @@ every other component.
 from __future__ import annotations
 
 import hashlib
+import math
 from typing import Iterator
 
 import numpy as np
@@ -69,9 +70,12 @@ def bounded_lognormal(
     """
     if mean <= 0:
         return max(low, 0.0)
-    mu = np.log(mean) - 0.5 * sigma * sigma
+    # exp(mu + sigma * z) is bit-identical to rng.lognormal(mu, sigma) and
+    # consumes the same single draw, but skips numpy's per-call scalar
+    # broadcasting overhead on this very hot call site.
+    mu = math.log(mean) - 0.5 * sigma * sigma
     for _ in range(8):
-        value = float(rng.lognormal(mu, sigma))
+        value = math.exp(mu + sigma * float(rng.standard_normal()))
         if low <= value <= high:
             return value
     return float(min(max(mean, low), high))

@@ -35,6 +35,7 @@ LINKED_DOCS = [
     "docs/OBSERVABILITY.md",
     "docs/PAPER_MAPPING.md",
     "docs/PARALLEL.md",
+    "docs/PERFORMANCE.md",
 ]
 
 #: a contract table row: the first cell is a backticked dotted name
@@ -132,4 +133,12 @@ class TestMarkdownLinks:
             text = (REPO_ROOT / source).read_text(encoding="utf-8")
             assert "ARCHITECTURE.md" in text, (
                 f"{source} does not link docs/ARCHITECTURE.md"
+            )
+
+    def test_performance_doc_is_cross_linked(self):
+        # PERFORMANCE.md reachable from README and the architecture map
+        for source in ("README.md", "docs/ARCHITECTURE.md"):
+            text = (REPO_ROOT / source).read_text(encoding="utf-8")
+            assert "PERFORMANCE.md" in text, (
+                f"{source} does not link docs/PERFORMANCE.md"
             )

@@ -1,5 +1,7 @@
 """Tests for the adoption extensions: CSV beacons, A/B comparison, scenarios."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -131,14 +133,14 @@ class TestCompareDatasets:
                     "cdn_sessions",
                 ):
                     for record in getattr(base, record_list_name):
-                        setattr_record = type(record)(
-                            **{**record.__dict__, "session_id": sid}
-                        )
+                        # dataclasses.replace works for slotted records,
+                        # which have no per-instance __dict__
+                        setattr_record = dataclasses.replace(record, session_id=sid)
                         getattr(source, record_list_name).append(setattr_record)
         for chunk_index, record in enumerate(list(degraded.player_chunks)):
             if record.session_id.startswith("d"):
-                degraded.player_chunks[chunk_index] = type(record)(
-                    **{**record.__dict__, "rebuffer_count": 1, "rebuffer_ms": 3000.0}
+                degraded.player_chunks[chunk_index] = dataclasses.replace(
+                    record, rebuffer_count=1, rebuffer_ms=3000.0
                 )
         report = compare_datasets(baseline, degraded, n_resamples=200)
         rebuffer = report.by_metric("rebuffer_rate_pct")

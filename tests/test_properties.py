@@ -225,8 +225,12 @@ class TestTcpProperties:
         assert result.segments_sent >= segments_needed
         assert result.segments_retx == result.segments_sent - segments_needed
         assert 0.0 <= result.retx_rate < 1.0
-        # physics: cannot beat the speed of light or the bottleneck
-        assert result.duration_ms >= rtt * 0.8
+        # physics: every round costs at least one round trip, so the
+        # transfer cannot finish faster than its own fastest RTT sample.
+        # (Comparing against base rtt directly is statistically unsound:
+        # the lognormal measurement noise has no lower bound, so a sample
+        # can dip below any fixed fraction of the base.)
+        assert result.duration_ms >= result.min_rtt_ms
         assert result.duration_ms >= nbytes * 8.0 / bw * 0.8
         # SRTT ended positive and sane
         assert conn.srtt_ms is not None and conn.srtt_ms > 0
