@@ -47,6 +47,7 @@ from .obs.manifest import (
     write_metrics_document,
 )
 from .obs.registry import MetricsRegistry
+from .obs.trace import TraceRecorder, write_trace
 from .simulation.config import SimulationConfig
 from .simulation.driver import SimulationResult, Simulator
 from .simulation.parallel import (
@@ -122,6 +123,11 @@ class RunResult:
     def metrics(self) -> Optional[MetricsRegistry]:
         return self.simulation.metrics
 
+    @property
+    def trace(self) -> Optional[TraceRecorder]:
+        """The causal-trace recorder (None unless ``trace_sample > 0``)."""
+        return self.simulation.trace
+
     # -- observability artifacts ---------------------------------------------
 
     def manifest(self, wall_time_s: Optional[float] = None) -> Dict[str, object]:
@@ -151,6 +157,20 @@ class RunResult:
 
     def write_metrics_document(self, path: Union[str, Path]) -> Path:
         return write_metrics_document(self.simulation, path)
+
+    def write_trace(self, path: Union[str, Path]) -> Tuple[Path, Path]:
+        """Export the causal trace as JSONL + Chrome trace-event JSON.
+
+        The JSONL bytes are identical for any ``--workers`` value (the
+        determinism contract, docs/OBSERVABILITY.md).  Returns the
+        (jsonl, chrome) paths; raises if the run was not traced.
+        """
+        if self.trace is None:
+            raise ValueError(
+                "run was not traced; set config.trace_sample > 0 "
+                "(CLI: --trace-out/--trace-sample)"
+            )
+        return write_trace(self.trace.events(), path)
 
 
 def _resolve_faults(faults: FaultsArg) -> Optional[FaultSpec]:
@@ -227,6 +247,7 @@ def _run_periods(
             config=exec_config,
             shard_reports=reports,
             metrics=runner.metrics,
+            trace=runner.trace,
         )
         return RunResult(datasets=datasets, labels=labels, simulation=simulation)
     metrics = MetricsRegistry()
@@ -240,6 +261,7 @@ def _run_periods(
         config=exec_config,
         shard_reports=[],
         metrics=metrics,
+        trace=simulator.trace,
     )
     return RunResult(
         datasets=datasets, labels=labels, simulation=simulation, simulator=simulator

@@ -28,6 +28,7 @@ from ..obs.registry import MetricsRegistry
 
 if TYPE_CHECKING:  # import-time only: keeps cdn importable without faults
     from ..faults.injector import FaultInjector
+    from ..obs.trace import ChunkTrace
 from ..workload.randomness import bounded_lognormal, spawn
 from .backend import BackendService
 from .cache import CacheStatus, TwoLevelCache
@@ -181,14 +182,24 @@ class CdnServer:
 
     # -- serving ------------------------------------------------------------
 
-    def serve(self, key: ChunkKey, size_bytes: int, now_ms: float) -> ServeResult:
-        """Serve one chunk request arriving at *now_ms*."""
+    def serve(
+        self,
+        key: ChunkKey,
+        size_bytes: int,
+        now_ms: float,
+        trace: Optional["ChunkTrace"] = None,
+    ) -> ServeResult:
+        """Serve one chunk request arriving at *now_ms*.
+
+        ``trace`` is the chunk's causal-trace emitter when the session is
+        sampled (docs/OBSERVABILITY.md, "Tracing"); None costs one branch.
+        """
         if size_bytes <= 0:
             raise ValueError("size_bytes must be positive")
         if self._metrics is None:
-            return self._serve(key, size_bytes, now_ms)
+            return self._serve(key, size_bytes, now_ms, trace)
         with self._metrics.span("cdn.serve"):
-            result = self._serve(key, size_bytes, now_ms)
+            result = self._serve(key, size_bytes, now_ms, trace)
         self._m_requests.inc()
         self._m_bytes.inc(size_bytes)
         self._m_status[result.status].inc()
@@ -201,7 +212,13 @@ class CdnServer:
             self._m_backend_latency.observe(result.d_be_ms)
         return result
 
-    def _serve(self, key: ChunkKey, size_bytes: int, now_ms: float) -> ServeResult:
+    def _serve(
+        self,
+        key: ChunkKey,
+        size_bytes: int,
+        now_ms: float,
+        trace: Optional["ChunkTrace"] = None,
+    ) -> ServeResult:
         self._update_load(now_ms)
         self.requests_served += 1
         self.bytes_served += size_bytes
@@ -258,6 +275,31 @@ class CdnServer:
         if fault is not None:
             d_read *= fault.latency_mult
             d_be *= fault.backend_mult
+        if trace is not None:
+            # Same fault state the ground-truth stamping re-queries (pure
+            # function of (server id, arrival time)), so per-event labels
+            # reconcile exactly with ChunkGroundTruth.fault_labels.
+            labels = ",".join(sorted(set(fault.labels))) if fault is not None else ""
+            t = now_ms
+            trace.emit("cdn.queue_wait", t, d_wait, faults=labels)
+            t += d_wait
+            trace.emit("cdn.open", t, d_open, faults=labels)
+            t += d_open
+            trace.emit(
+                "cdn.cache_lookup", t, faults=labels,
+                status=status.value, retry_timer=retry_hit,
+            )
+            retry_ms = 0.0
+            if retry_hit:
+                retry_ms = cfg.retry_timer_ms * (
+                    fault.latency_mult if fault is not None else 1.0
+                )
+                trace.emit("cdn.retry_timer", t, retry_ms, faults=labels)
+                t += retry_ms
+            trace.emit("cdn.read", t, max(0.0, d_read - retry_ms), faults=labels)
+            t += max(0.0, d_read - retry_ms)
+            if d_be > 0.0:
+                trace.emit("cdn.origin_fetch", t, d_be, faults=labels)
         return ServeResult(
             d_wait_ms=d_wait,
             d_open_ms=d_open,

@@ -76,6 +76,48 @@ def build_parser() -> argparse.ArgumentParser:
              "ground-truth fault labels are stamped into the telemetry "
              "(see docs/FAULTS.md and examples/fault_*.json)",
     )
+    sim.add_argument(
+        "--trace-out", default=None, metavar="FILE.jsonl",
+        help="export the per-chunk causal trace as JSONL (plus a sibling "
+             ".chrome.json for chrome://tracing); byte-identical for any "
+             "--workers value (see docs/OBSERVABILITY.md, 'Tracing')",
+    )
+    sim.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="P",
+        help="fraction of sessions to trace, head-sampled by session-id "
+             "hash so the sampled set is shard-independent (default: 1.0; "
+             "only meaningful with --trace-out)",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="drill into a causal trace: reconstruct one chunk's timeline "
+             "and name its dominant latency stage",
+    )
+    trace.add_argument("trace_file", help="JSONL trace from 'simulate --trace-out'")
+    trace.add_argument(
+        "--session", default=None, help="session id (default: slowest chunk)"
+    )
+    trace.add_argument(
+        "--chunk", type=int, default=None,
+        help="chunk index within --session (default: slowest chunk)",
+    )
+    trace.add_argument(
+        "--validate", action="store_true",
+        help="check every event against the tracing contract and exit",
+    )
+
+    metrics = commands.add_parser(
+        "metrics", help="observability document utilities"
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command", required=True)
+    mdiff = metrics_sub.add_parser(
+        "diff",
+        help="compare two --metrics-out documents; print the first "
+             "divergent key (the determinism-break debugging tool)",
+    )
+    mdiff.add_argument("doc_a", help="first metrics JSON document")
+    mdiff.add_argument("doc_b", help="second metrics JSON document")
 
     faultscore = commands.add_parser(
         "faultscore",
@@ -147,6 +189,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         abr_name=args.abr,
         workers=args.workers,
         shard_timeout_s=args.shard_timeout,
+        # tracing is an execution knob: it never changes the workload
+        trace_sample=args.trace_sample if args.trace_out else 0.0,
     )
     mode = "serially" if args.workers <= 1 else f"on {args.workers} shard workers"
     injected = f", faults from {args.faults}" if args.faults else ""
@@ -185,9 +229,146 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.metrics_out:
         metrics_path = result.write_metrics_document(args.metrics_out)
         print(f"wrote metrics document to {metrics_path}")
+    if args.trace_out:
+        jsonl_path, chrome_path = result.write_trace(args.trace_out)
+        print(
+            f"wrote {result.trace.n_events} trace events "
+            f"(sample {result.config.trace_sample:g}) to {jsonl_path} "
+            f"+ {chrome_path}"
+        )
     if result.metrics is not None:
         for name, total_s in result.metrics.tracer.totals():
             print(f"  span {name}: {total_s:.3f}s")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.trace import (
+        TRACE_EVENT_SPECS,
+        chunk_events,
+        chunk_fault_labels,
+        dominant_stage,
+        read_trace_jsonl,
+        slowest_chunk,
+        stage_durations,
+        validate_trace,
+    )
+
+    try:
+        rows = read_trace_jsonl(args.trace_file)
+    except OSError as error:
+        print(error, file=sys.stderr)
+        return 1
+    if args.validate:
+        try:
+            summary = validate_trace(rows)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 1
+        print(
+            f"trace OK: {summary['events']} events, "
+            f"{summary['sessions']} sessions, {summary['chunks']} chunks"
+        )
+        return 0
+    if not rows:
+        print("trace holds no events", file=sys.stderr)
+        return 1
+    if args.session is not None:
+        session_rows = [row for row in rows if row["session"] == args.session]
+        if not session_rows:
+            print(f"no events for session {args.session!r}", file=sys.stderr)
+            return 1
+        if args.chunk is not None:
+            key = (args.session, args.chunk)
+        else:
+            key = slowest_chunk(session_rows)
+    else:
+        key = slowest_chunk(rows)
+    events = chunk_events(rows, *key)
+    if not events:
+        print(f"no events for chunk {key}", file=sys.stderr)
+        return 1
+    labels = chunk_fault_labels(events)
+    suffix = f"  [fault epochs: {labels}]" if labels else ""
+    print(f"chunk timeline: session={key[0]} chunk={key[1]}{suffix}")
+    t0 = events[0]["t_ms"]
+    # canonical order is per-session seq (emission order); wall-clock
+    # order reads better for a timeline, with seq as the tie-break
+    for row in sorted(events, key=lambda row: (row["t_ms"], row["seq"])):
+        spec = TRACE_EVENT_SPECS[row["name"]]
+        duration = f"{row['dur_ms']:10.3f} ms" if spec.phase == "span" else " " * 13
+        details = " ".join(
+            f"{name}={value}" for name, value in sorted(row["args"].items())
+        )
+        fault = f"  !{row['faults']}" if row["faults"] else ""
+        print(
+            f"  +{row['t_ms'] - t0:10.3f} ms  {row['name']:<20}{duration}"
+            f"  {details}{fault}".rstrip()
+        )
+    totals = stage_durations(events)
+    total_fb = sum(totals.values())
+    print("\nfirst-byte stage breakdown:")
+    for stage, total in sorted(totals.items(), key=lambda kv: (-kv[1], kv[0])):
+        share = 100.0 * total / total_fb if total_fb > 0 else 0.0
+        print(f"  {stage:<12} {total:10.3f} ms  ({share:5.1f}%)")
+    stage, total = dominant_stage(events)
+    print(f"\ndominant stage: {stage} ({total:.3f} ms of first-byte latency)")
+    return 0
+
+
+def _flatten_document(payload, prefix: str = ""):
+    """Depth-first (key path, scalar) pairs with sorted dict keys."""
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            yield from _flatten_document(
+                payload[key], f"{prefix}.{key}" if prefix else str(key)
+            )
+    elif isinstance(payload, (list, tuple)):
+        for index, value in enumerate(payload):
+            yield from _flatten_document(value, f"{prefix}[{index}]")
+    else:
+        yield prefix or "<root>", payload
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import itertools
+    import json
+
+    from .obs.manifest import validate_manifest
+
+    # only `metrics diff` exists today; the subparser enforces that
+    documents = []
+    for path in (args.doc_a, args.doc_b):
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if isinstance(payload, dict) and "manifest" in payload:
+            try:
+                validate_manifest(payload["manifest"])
+            except ValueError as error:
+                print(f"{path}: {error}", file=sys.stderr)
+                return 2
+        documents.append(payload)
+    sentinel = object()
+    n_compared = 0
+    for (key_a, value_a), (key_b, value_b) in itertools.zip_longest(
+        _flatten_document(documents[0]),
+        _flatten_document(documents[1]),
+        fillvalue=(None, sentinel),
+    ):
+        if key_a != key_b:
+            only = (key_a, args.doc_a) if value_b is sentinel else (key_b, args.doc_b)
+            if value_a is not sentinel and value_b is not sentinel:
+                print(f"documents diverge at key: {key_a} vs {key_b}")
+            else:
+                print(f"key only in {only[1]}: {only[0]}")
+            return 1
+        if value_a != value_b:
+            print(f"first divergent key: {key_a}")
+            print(f"  {args.doc_a}: {value_a!r}")
+            print(f"  {args.doc_b}: {value_b!r}")
+            return 1
+        n_compared += 1
+    print(f"documents identical ({n_compared} keys compared)")
     return 0
 
 
@@ -356,6 +537,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 _HANDLERS = {
     "simulate": _cmd_simulate,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "faultscore": _cmd_faultscore,
     "scenario": _cmd_scenario,
     "analyze": _cmd_analyze,

@@ -63,6 +63,10 @@ class TcpStateSample:
     rttvar_ms: float
     retx_total: int
     mss: int
+    #: retransmission timeout at the sample (the paper's footnote-5
+    #: formula, floored at 200 ms); 0.0 in legacy samples from before the
+    #: field existed
+    rto_ms: float = 0.0
 
     @property
     def throughput_kbps(self) -> float:
@@ -179,6 +183,7 @@ class TcpConnection:
             rttvar_ms=self.rttvar_ms,
             retx_total=self.retx_total,
             mss=self.mss,
+            rto_ms=self.rto_ms,
         )
 
     def _maybe_snapshot(self, t_ms: float, out: List[TcpStateSample]) -> None:
@@ -425,6 +430,9 @@ class TcpConnection:
                         rttvar_ms=rttvar,
                         retx_total=retx_total,
                         mss=mss,
+                        # srtt is set above before any snapshot can fire,
+                        # so this matches state_sample()'s rto exactly
+                        rto_ms=RTO_FLOOR_MS + srtt + 4.0 * rttvar,
                     )
                 )
                 next_snap += interval

@@ -22,11 +22,14 @@ from .manifest import (
     EXECUTION_FIELDS,
     MANIFEST_FILENAME,
     MANIFEST_SCHEMA,
+    MANIFEST_SCHEMA_VERSION,
     config_hash,
     dump_json,
+    load_run_manifest,
     metrics_document,
     run_manifest,
     save_run_manifest,
+    validate_manifest,
     write_metrics_document,
 )
 from .registry import (
@@ -40,6 +43,21 @@ from .registry import (
     register_metric,
 )
 from .spans import SPAN_SPECS, SpanSpec, SpanTracer, register_span
+from .trace import (
+    TRACE_EVENT_SPECS,
+    TRACE_SCHEMA,
+    ChunkTrace,
+    SessionTrace,
+    TraceEventSpec,
+    TraceRecorder,
+    chrome_trace_document,
+    read_trace_jsonl,
+    session_sampled,
+    validate_trace,
+    write_chrome_trace,
+    write_trace,
+    write_trace_jsonl,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -63,6 +81,22 @@ __all__ = [
     "EXECUTION_FIELDS",
     "MANIFEST_FILENAME",
     "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_VERSION",
+    "validate_manifest",
+    "load_run_manifest",
+    "TRACE_SCHEMA",
+    "TRACE_EVENT_SPECS",
+    "TraceEventSpec",
+    "TraceRecorder",
+    "SessionTrace",
+    "ChunkTrace",
+    "session_sampled",
+    "validate_trace",
+    "read_trace_jsonl",
+    "write_trace",
+    "write_trace_jsonl",
+    "write_chrome_trace",
+    "chrome_trace_document",
     "publish_last_run",
     "last_run",
 ]

@@ -31,20 +31,29 @@ __all__ = [
     "EXECUTION_FIELDS",
     "MANIFEST_FILENAME",
     "MANIFEST_SCHEMA",
+    "MANIFEST_SCHEMA_VERSION",
     "config_hash",
     "metrics_document",
     "run_manifest",
     "dump_json",
     "write_metrics_document",
     "save_run_manifest",
+    "validate_manifest",
+    "load_run_manifest",
 ]
 
-#: Config fields that choose *how* the trace is computed, never *what* it
-#: is (see SimulationConfig).  Excluded from the workload identity hash so
-#: serial and sharded runs of one workload share a config_hash.
-EXECUTION_FIELDS = frozenset({"workers", "shard_timeout_s", "shard_by"})
+#: Config fields that choose *how* (or whether) the run is observed and
+#: executed, never *what* is simulated (see SimulationConfig).  Excluded
+#: from the workload identity hash so serial, sharded, and traced runs of
+#: one workload share a config_hash.
+EXECUTION_FIELDS = frozenset(
+    {"workers", "shard_timeout_s", "shard_by", "trace_sample"}
+)
 
 MANIFEST_SCHEMA = "repro.obs/1"
+#: Integer schema version carried by every manifest (see the migration
+#: note in docs/OBSERVABILITY.md).  Loaders reject unknown versions.
+MANIFEST_SCHEMA_VERSION = 1
 MANIFEST_FILENAME = "manifest.json"
 
 
@@ -65,6 +74,7 @@ def _identity(result: "SimulationResult") -> Dict[str, Any]:
 
     return {
         "schema": MANIFEST_SCHEMA,
+        "schema_version": MANIFEST_SCHEMA_VERSION,
         "package_version": __version__,
         "seed": result.config.seed,
         "config_hash": config_hash(result.config),
@@ -122,3 +132,36 @@ def save_run_manifest(
     path = directory / MANIFEST_FILENAME
     path.write_text(dump_json(run_manifest(result, wall_time_s)), encoding="utf-8")
     return path
+
+
+def validate_manifest(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Reject manifests written by an unknown schema version.
+
+    Manifests from before the ``schema_version`` field (PR 2–4) carry only
+    the ``schema`` string; those read as version 1 (the migration note in
+    docs/OBSERVABILITY.md).  Anything newer than
+    :data:`MANIFEST_SCHEMA_VERSION` — or a foreign ``schema`` — raises, so
+    tooling fails loudly instead of silently misreading future layouts.
+    """
+    schema = payload.get("schema")
+    if schema is not None and schema != MANIFEST_SCHEMA:
+        raise ValueError(
+            f"not a repro manifest: schema {schema!r} (expected {MANIFEST_SCHEMA!r})"
+        )
+    version = payload.get("schema_version", 1 if schema == MANIFEST_SCHEMA else None)
+    if version != MANIFEST_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported manifest schema_version {version!r}; this build "
+            f"reads version {MANIFEST_SCHEMA_VERSION} only — regenerate the "
+            "manifest or upgrade (docs/OBSERVABILITY.md, 'Schema versioning')"
+        )
+    return payload
+
+
+def load_run_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load + validate a ``manifest.json`` (or a dataset directory holding one)."""
+    path = Path(path)
+    if path.is_dir():
+        path = path / MANIFEST_FILENAME
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return validate_manifest(payload)

@@ -1,0 +1,575 @@
+"""Per-chunk causal tracing + deterministic export (the §4.1–§4.3 join).
+
+The paper localizes problems by *joining* per-chunk instrumentation from
+both sides of the delivery path with 500 ms kernel ``tcp_info`` snapshots.
+The metrics registry (PR 2) aggregates; this module follows **one chunk**
+end to end: request issued, accept-queue wait, cache lookup, open-read-
+retry, origin fetch, TCP transfer (with evolving ``tcp_info`` samples),
+first/last byte at the client, buffer append, render — every event stamped
+with sim-time, (session id, chunk id), and the fault epochs active when it
+happened.
+
+Determinism contract (extends docs/PARALLEL.md to a new artifact class):
+
+* head-based sampling keyed by a stable session-id hash
+  (:func:`session_sampled`), so the sampled session *set* is a pure
+  function of (session id, rate) — independent of shard layout;
+* events carry sim-time only and sort canonically by
+  ``(session_id, chunk_id, seq)`` where ``seq`` is the per-session
+  emission counter — identical for serial and ``--workers N`` runs;
+* workers ship pre-sorted event lists and the parent k-way merges them in
+  sorted shard order, exactly like :meth:`Dataset.merge_all`.
+
+Exports: JSONL (one event per line, sorted keys — byte-identical for any
+worker count) and Chrome trace-event JSON (load in ``chrome://tracing`` or
+https://ui.perfetto.dev).  The event-name set is a *written contract*:
+:data:`TRACE_EVENT_SPECS` must mirror the "Tracing" table in
+docs/OBSERVABILITY.md (enforced by tests/test_docs_contract.py).
+
+Cost when disabled: the drivers construct no recorder and every hot-path
+emitter is behind a single ``is not None`` check (verified by the
+perf-smoke bench budget).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..workload.randomness import stable_hash64
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "TraceEventSpec",
+    "TRACE_EVENT_SPECS",
+    "FIRST_BYTE_STAGES",
+    "TraceRecorder",
+    "SessionTrace",
+    "ChunkTrace",
+    "session_sampled",
+    "event_json_line",
+    "write_trace_jsonl",
+    "chrome_trace_document",
+    "write_chrome_trace",
+    "chrome_trace_path",
+    "write_trace",
+    "read_trace_jsonl",
+    "validate_trace",
+    "chunk_ids",
+    "chunk_events",
+    "chunk_fault_labels",
+    "stage_durations",
+    "dominant_stage",
+    "slowest_chunk",
+]
+
+TRACE_SCHEMA = "repro.trace/1"
+
+#: events: (session_id, chunk_id, seq, name, t_ms, dur_ms, faults, args)
+TraceEvent = Tuple[str, int, int, str, float, float, str, Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class TraceEventSpec:
+    """Declaration of one legal trace event name (the written contract)."""
+
+    name: str
+    #: "span" (has a duration) or "instant" (a point in time)
+    phase: str
+    #: emitting layer: session | cdn | net | client
+    layer: str
+    #: first-byte decomposition stage this span contributes to, or None —
+    #: the drill-down's dominant-stage analysis sums spans by stage
+    stage: Optional[str]
+    description: str
+    paper_ref: str = "—"
+
+
+def _spec(
+    name: str,
+    phase: str,
+    layer: str,
+    stage: Optional[str],
+    description: str,
+    paper_ref: str = "—",
+) -> Tuple[str, TraceEventSpec]:
+    return name, TraceEventSpec(name, phase, layer, stage, description, paper_ref)
+
+
+#: Every legal event name.  docs/OBSERVABILITY.md's "Tracing" table must
+#: list exactly these names (tests/test_docs_contract.py enforces both
+#: directions).
+TRACE_EVENT_SPECS: Dict[str, TraceEventSpec] = dict(
+    [
+        _spec(
+            "session.request", "instant", "session", None,
+            "player issues the chunk GET (bitrate, bytes chosen by ABR)",
+            "§4.1 Fig. 2",
+        ),
+        _spec(
+            "cdn.queue_wait", "span", "cdn", "queue_wait",
+            "request waits in the accept queue until a worker reads it (D_wait)",
+            "§4.2 D_wait",
+        ),
+        _spec(
+            "cdn.open", "span", "cdn", "open",
+            "server opens the requested object (D_open)",
+            "§4.2 D_open",
+        ),
+        _spec(
+            "cdn.cache_lookup", "instant", "cdn", None,
+            "cache stack consulted; args carry hit_ram/hit_disk/miss",
+            "§4.1 cache status",
+        ),
+        _spec(
+            "cdn.retry_timer", "span", "cdn", "retry_timer",
+            "ATS asynchronous open-read-retry timer before disk/backend",
+            "§4.1 [4]",
+        ),
+        _spec(
+            "cdn.read", "span", "cdn", "read",
+            "object read from RAM or disk (D_read minus the retry timer)",
+            "§4.2 D_read",
+        ),
+        _spec(
+            "cdn.origin_fetch", "span", "cdn", "origin",
+            "backend/origin fetch on a cache miss (D_BE)",
+            "§4.2 D_BE",
+        ),
+        _spec(
+            "net.propagation", "span", "net", "propagation",
+            "request + response propagation (the chunk's rtt0)",
+            "§4.2 Eq. 1",
+        ),
+        _spec(
+            "net.transfer", "span", "net", None,
+            "TCP delivers the chunk body (network D_LB; rounds/retx in args)",
+            "§4.3 Fig. 13",
+        ),
+        _spec(
+            "net.tcp_sample", "instant", "net", None,
+            "500 ms tcp_info snapshot: cwnd/srtt/rttvar/rto/retx in args",
+            "§2.1, §4.3",
+        ),
+        _spec(
+            "client.stack_delay", "span", "client", "stack",
+            "client download-stack delay before the first byte (D_DS)",
+            "§4.3 D_DS",
+        ),
+        _spec(
+            "client.first_byte", "instant", "client", None,
+            "first byte reaches the player (ends D_FB)",
+            "§4.1 D_FB",
+        ),
+        _spec(
+            "client.last_byte", "instant", "client", None,
+            "last byte reaches the player (ends D_LB)",
+            "§4.1 D_LB",
+        ),
+        _spec(
+            "client.buffer_append", "instant", "client", None,
+            "chunk appended to the playback buffer (rebuffer stats in args)",
+            "§4.1 bufcount/bufdur",
+        ),
+        _spec(
+            "client.rebuffer", "span", "client", None,
+            "playback stall ended by this chunk's arrival",
+            "§4.1 bufdur",
+        ),
+        _spec(
+            "client.render", "instant", "client", None,
+            "chunk rendered (visibility, dropped/total frames in args)",
+            "§4.4 Fig. 19",
+        ),
+    ]
+)
+
+#: Stages of the first-byte decomposition, in path order.  The dominant-
+#: stage analysis covers D_FB only (the paper's localization target);
+#: the transfer phase (network D_LB) is reported separately.
+FIRST_BYTE_STAGES: Tuple[str, ...] = (
+    "propagation",
+    "queue_wait",
+    "open",
+    "retry_timer",
+    "read",
+    "origin",
+    "stack",
+)
+
+_TWO_POW_64 = 2**64
+
+
+def session_sampled(session_id: str, sample: float) -> bool:
+    """Head-based sampling decision for *session_id* at rate *sample*.
+
+    Keyed by a stable hash of the session id alone, so the decision is
+    identical on every shard layout — the foundation of the byte-identical
+    export contract.
+    """
+    if sample >= 1.0:
+        return True
+    if sample <= 0.0:
+        return False
+    return stable_hash64(f"trace|{session_id}") < int(sample * _TWO_POW_64)
+
+
+def _clean(value: Any) -> Any:
+    """Coerce an event arg to a JSON-native scalar (numpy scalars included)."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+class ChunkTrace:
+    """Emitter handle for one chunk of one sampled session."""
+
+    __slots__ = ("_session", "chunk_id")
+
+    def __init__(self, session: "SessionTrace", chunk_id: int) -> None:
+        self._session = session
+        self.chunk_id = chunk_id
+
+    def emit(
+        self,
+        name: str,
+        t_ms: float,
+        dur_ms: float = 0.0,
+        faults: str = "",
+        **args: Any,
+    ) -> None:
+        if name not in TRACE_EVENT_SPECS:
+            raise KeyError(
+                f"unregistered trace event {name!r}; add a TraceEventSpec "
+                "and a docs/OBSERVABILITY.md row (the tracing contract)"
+            )
+        session = self._session
+        session.seq += 1
+        session.events.append(
+            (
+                session.session_id,
+                self.chunk_id,
+                session.seq,
+                name,
+                float(t_ms),
+                float(dur_ms),
+                faults,
+                {key: _clean(value) for key, value in args.items()},
+            )
+        )
+
+
+class SessionTrace:
+    """Per-session event sink: a monotone ``seq`` counter orders emissions."""
+
+    __slots__ = ("session_id", "events", "seq")
+
+    def __init__(self, session_id: str, events: List[TraceEvent]) -> None:
+        self.session_id = session_id
+        self.events = events
+        self.seq = 0
+
+    def chunk(self, chunk_id: int) -> ChunkTrace:
+        return ChunkTrace(self, chunk_id)
+
+
+class TraceRecorder:
+    """Collects trace events for one run (or one shard of one run)."""
+
+    def __init__(self, sample: float = 1.0) -> None:
+        if not 0.0 < sample <= 1.0:
+            raise ValueError("sample must be in (0, 1]; 0 means: no recorder")
+        self.sample = sample
+        self._events: List[TraceEvent] = []
+
+    def session_trace(self, session_id: str) -> Optional[SessionTrace]:
+        """The session's emitter, or None if sampling excluded it."""
+        if not session_sampled(session_id, self.sample):
+            return None
+        return SessionTrace(session_id, self._events)
+
+    @property
+    def n_events(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[TraceEvent]:
+        """All events in canonical ``(session_id, chunk_id, seq)`` order."""
+        # (session_id, chunk_id, seq) is unique per event, so tuple sort
+        # never compares the trailing args dicts.
+        return sorted(self._events, key=lambda ev: ev[:3])
+
+    def adopt_sorted(self, events: List[TraceEvent]) -> None:
+        """Install pre-merged canonical events (the parallel parent path)."""
+        self._events = events
+
+    @staticmethod
+    def merge_sorted(event_lists: Iterable[List[TraceEvent]]) -> List[TraceEvent]:
+        """K-way merge of canonically pre-sorted shard event lists."""
+        return list(heapq.merge(*event_lists, key=lambda ev: ev[:3]))
+
+
+# -- export ------------------------------------------------------------------
+
+
+def event_json_line(event: TraceEvent) -> str:
+    session_id, chunk_id, seq, name, t_ms, dur_ms, faults, args = event
+    return json.dumps(
+        {
+            "session": session_id,
+            "chunk": chunk_id,
+            "seq": seq,
+            "name": name,
+            "t_ms": round(t_ms, 6),
+            "dur_ms": round(dur_ms, 6),
+            "faults": faults,
+            "args": args,
+        },
+        sort_keys=True,
+    )
+
+
+def write_trace_jsonl(
+    events: Sequence[TraceEvent], path: Union[str, Path]
+) -> Path:
+    """One event per line, canonical order and key order — byte-stable."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(event_json_line(event))
+            handle.write("\n")
+    return path
+
+
+def chrome_trace_document(events: Sequence[TraceEvent]) -> Dict[str, Any]:
+    """Chrome trace-event JSON: sessions become threads, spans become "X".
+
+    Thread ids are assigned by sorted session-id order at export time, so
+    the document is deterministic for any shard layout.
+    """
+    sessions = sorted({event[0] for event in events})
+    tids = {session_id: index + 1 for index, session_id in enumerate(sessions)}
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro simulation"},
+        }
+    ]
+    for session_id in sessions:
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tids[session_id],
+                "name": "thread_name",
+                "args": {"name": f"session {session_id}"},
+            }
+        )
+    for session_id, chunk_id, seq, name, t_ms, dur_ms, faults, args in events:
+        spec = TRACE_EVENT_SPECS[name]
+        entry: Dict[str, Any] = {
+            "pid": 1,
+            "tid": tids[session_id],
+            "name": name,
+            "cat": spec.layer,
+            "ts": round(t_ms * 1000.0, 3),  # µs
+            "args": {"chunk": chunk_id, "seq": seq, "faults": faults, **args},
+        }
+        if spec.phase == "span":
+            entry["ph"] = "X"
+            entry["dur"] = round(dur_ms * 1000.0, 3)
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        trace_events.append(entry)
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA},
+        "traceEvents": trace_events,
+    }
+
+
+def chrome_trace_path(jsonl_path: Union[str, Path]) -> Path:
+    """``trace.jsonl`` → ``trace.chrome.json`` (sibling file)."""
+    jsonl_path = Path(jsonl_path)
+    return jsonl_path.with_name(jsonl_path.stem + ".chrome.json")
+
+
+def write_chrome_trace(
+    events: Sequence[TraceEvent], path: Union[str, Path]
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = chrome_trace_document(events)
+    path.write_text(
+        json.dumps(document, sort_keys=True, indent=1) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def write_trace(
+    events: Sequence[TraceEvent], path: Union[str, Path]
+) -> Tuple[Path, Path]:
+    """Write both export formats; returns (jsonl path, chrome path)."""
+    jsonl = write_trace_jsonl(events, path)
+    chrome = write_chrome_trace(events, chrome_trace_path(jsonl))
+    return jsonl, chrome
+
+
+# -- load + validate ---------------------------------------------------------
+
+_REQUIRED_KEYS = frozenset(
+    {"session", "chunk", "seq", "name", "t_ms", "dur_ms", "faults", "args"}
+)
+
+
+def read_trace_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into event dicts (validation separate)."""
+    rows: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{line_number}: not JSON: {error}") from None
+            rows.append(row)
+    return rows
+
+
+def validate_trace(rows: Sequence[Dict[str, Any]]) -> Dict[str, int]:
+    """Check *rows* against the event contract; returns summary counts.
+
+    Raises ValueError on: unknown event names, missing keys, negative
+    durations, non-monotone per-session ``seq``, or a chunk lacking its
+    ``session.request`` / ``client.last_byte`` bracket events.
+    """
+    problems: List[str] = []
+    last_seq: Dict[str, int] = {}
+    per_chunk_names: Dict[Tuple[str, int], List[str]] = {}
+    for index, row in enumerate(rows):
+        missing = _REQUIRED_KEYS - set(row)
+        if missing:
+            problems.append(f"event {index}: missing keys {sorted(missing)}")
+            continue
+        name = row["name"]
+        if name not in TRACE_EVENT_SPECS:
+            problems.append(f"event {index}: unregistered name {name!r}")
+            continue
+        if row["dur_ms"] < 0:
+            problems.append(f"event {index}: negative dur_ms {row['dur_ms']}")
+        session = row["session"]
+        if session in last_seq and row["seq"] <= last_seq[session]:
+            problems.append(
+                f"event {index}: seq {row['seq']} not increasing for "
+                f"session {session} (last {last_seq[session]})"
+            )
+        last_seq[session] = row["seq"]
+        per_chunk_names.setdefault((session, row["chunk"]), []).append(name)
+    for (session, chunk), names in sorted(per_chunk_names.items()):
+        for required in ("session.request", "client.last_byte"):
+            if names.count(required) != 1:
+                problems.append(
+                    f"chunk ({session}, {chunk}): expected exactly one "
+                    f"{required!r} event, saw {names.count(required)}"
+                )
+    if problems:
+        preview = "\n".join(problems[:20])
+        raise ValueError(
+            f"trace fails the event contract ({len(problems)} problems):\n{preview}"
+        )
+    return {
+        "events": len(rows),
+        "sessions": len(last_seq),
+        "chunks": len(per_chunk_names),
+    }
+
+
+# -- drill-down analysis (the `repro trace` CLI) -----------------------------
+
+
+def chunk_ids(rows: Sequence[Dict[str, Any]]) -> List[Tuple[str, int]]:
+    """All (session, chunk) keys present, in canonical order."""
+    return sorted({(row["session"], row["chunk"]) for row in rows})
+
+
+def chunk_events(
+    rows: Sequence[Dict[str, Any]], session: str, chunk: int
+) -> List[Dict[str, Any]]:
+    """One chunk's events in emission (``seq``) order."""
+    selected = [
+        row for row in rows if row["session"] == session and row["chunk"] == chunk
+    ]
+    selected.sort(key=lambda row: row["seq"])
+    return selected
+
+
+def chunk_fault_labels(rows: Sequence[Dict[str, Any]]) -> str:
+    """Union of the per-event fault labels, canonically joined.
+
+    Equals the chunk's ``ChunkGroundTruth.fault_labels`` because each layer
+    stamps its events from the same pure fault queries that produce the
+    ground truth.
+    """
+    labels = {
+        label
+        for row in rows
+        if row["faults"]
+        for label in row["faults"].split(",")
+    }
+    return ",".join(sorted(labels))
+
+
+def stage_durations(rows: Sequence[Dict[str, Any]]) -> Dict[str, float]:
+    """Per-stage first-byte latency of one chunk's events (ms)."""
+    totals = {stage: 0.0 for stage in FIRST_BYTE_STAGES}
+    for row in rows:
+        spec = TRACE_EVENT_SPECS.get(row["name"])
+        if spec is not None and spec.stage is not None:
+            totals[spec.stage] += row["dur_ms"]
+    return totals
+
+
+def dominant_stage(rows: Sequence[Dict[str, Any]]) -> Tuple[str, float]:
+    """The first-byte stage with the largest total duration (name, ms)."""
+    totals = stage_durations(rows)
+    # deterministic tie-break: path order via FIRST_BYTE_STAGES
+    best = max(FIRST_BYTE_STAGES, key=lambda stage: totals[stage])
+    return best, totals[best]
+
+
+def slowest_chunk(rows: Sequence[Dict[str, Any]]) -> Tuple[str, int]:
+    """The (session, chunk) with the longest request→last-byte interval."""
+    requests: Dict[Tuple[str, int], float] = {}
+    finishes: Dict[Tuple[str, int], float] = {}
+    for row in rows:
+        key = (row["session"], row["chunk"])
+        if row["name"] == "session.request":
+            requests[key] = row["t_ms"]
+        elif row["name"] == "client.last_byte":
+            finishes[key] = row["t_ms"]
+    if not requests:
+        raise ValueError("trace holds no session.request events")
+    def download_ms(key: Tuple[str, int]) -> float:
+        return finishes.get(key, requests[key]) - requests[key]
+    # ties broken canonically by the (session, chunk) key itself
+    return max(sorted(requests), key=lambda key: (download_ms(key), key))

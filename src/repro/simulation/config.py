@@ -90,6 +90,13 @@ class SimulationConfig:
     shard_timeout_s: Optional[float] = None
     #: shard partitioning mode: "server" (exact) or "session" (approximate)
     shard_by: str = "server"
+    #: per-chunk causal tracing (docs/OBSERVABILITY.md, "Tracing"): the
+    #: fraction of sessions traced, head-sampled by session-id hash so the
+    #: sampled set is shard-independent.  0.0 (default) disables tracing
+    #: entirely — no recorder is built and the hot path pays one ``is
+    #: None`` check per chunk.  Observational, like the knobs above: the
+    #: simulated workload and its telemetry are unchanged.
+    trace_sample: float = 0.0
 
     def __post_init__(self) -> None:
         if self.n_sessions <= 0:
@@ -106,6 +113,8 @@ class SimulationConfig:
             raise ValueError("prefetch_depth must be non-negative")
         if self.max_buffer_ms <= 0:
             raise ValueError("max_buffer_ms must be positive")
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError("trace_sample must be within [0, 1]")
         # Stringly-typed knobs are validated against their registries here,
         # so a typo fails at construction with the valid values listed —
         # not hundreds of sessions into the run.

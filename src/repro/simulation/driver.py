@@ -19,6 +19,7 @@ from ..client.abr import make_abr
 from ..faults.injector import FaultInjector
 from ..obs import publish_last_run
 from ..obs.registry import MetricsRegistry
+from ..obs.trace import TraceRecorder
 from ..telemetry.collector import TelemetryCollector
 from ..telemetry.dataset import Dataset
 from ..workload.catalog import Catalog, generate_catalog
@@ -85,6 +86,9 @@ class SimulationResult:
     #: observability registry of the run (merged across shards when
     #: sharded); see docs/OBSERVABILITY.md for the metrics contract
     metrics: Optional[MetricsRegistry] = None
+    #: per-chunk causal trace recorder (merged across shards when sharded);
+    #: None unless ``config.trace_sample > 0`` (docs/OBSERVABILITY.md)
+    trace: Optional[TraceRecorder] = None
 
     @property
     def fleet_miss_ratio(self) -> float:
@@ -111,6 +115,7 @@ class Simulator:
         world: Optional[World] = None,
         clock_sync: Optional[Callable[[float], float]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         """Build the world and the server fleet.
 
@@ -131,6 +136,14 @@ class Simulator:
         #: observability registry: one per run (or one per shard worker,
         #: merged deterministically by the parallel runner)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: causal-trace recorder; sampling is keyed by session-id hash so
+        #: the traced set is identical on every shard layout
+        if trace is not None:
+            self.trace: Optional[TraceRecorder] = trace
+        else:
+            self.trace = (
+                TraceRecorder(config.trace_sample) if config.trace_sample > 0 else None
+            )
         # Fault injection: every shard rebuilds the same injector from the
         # (pickled) config, and every injector query is a pure function of
         # stable ids + sim time, so faults preserve the determinism
@@ -208,6 +221,7 @@ class Simulator:
                     seed=config.seed + 99_991,  # disjoint session stream
                     collector=discard,
                     start_ms=self._clock_ms,
+                    trace=None,  # warmup is never traced
                 )
             self._warmed = True
         # Barrier 2: the measured period starts when the *fleet's* warmup
@@ -220,6 +234,7 @@ class Simulator:
                 seed=config.seed,
                 collector=collector,
                 start_ms=max(start_ms, self._clock_ms),
+                trace=self.trace,
             )
         result = SimulationResult(
             dataset=collector.dataset(),
@@ -229,6 +244,7 @@ class Simulator:
             servers=self.servers,
             config=config,
             metrics=self.metrics,
+            trace=self.trace,
         )
         publish_last_run(self.metrics)
         return result
@@ -261,6 +277,7 @@ class Simulator:
                     seed=config.seed + 99_991,
                     collector=discard,
                     start_ms=self._clock_ms,
+                    trace=None,  # warmup is never traced
                 )
             self._warmed = True
         collector = TelemetryCollector(record_ground_truth=config.record_ground_truth)
@@ -272,6 +289,7 @@ class Simulator:
                     seed=config.seed + day,  # a fresh session stream per day
                     collector=collector,
                     start_ms=day_start,
+                    trace=self.trace,
                 )
         result = SimulationResult(
             dataset=collector.dataset(),
@@ -281,6 +299,7 @@ class Simulator:
             servers=self.servers,
             config=config,
             metrics=self.metrics,
+            trace=self.trace,
         )
         publish_last_run(self.metrics)
         return result
@@ -296,6 +315,7 @@ class Simulator:
         seed: int,
         collector: TelemetryCollector,
         start_ms: float,
+        trace: Optional[TraceRecorder] = None,
     ) -> float:
         """Run one collection period into *collector*; returns the end time."""
         config = self.config
@@ -332,6 +352,7 @@ class Simulator:
                     config=config,
                     metrics=self.metrics,
                     faults=self.faults,
+                    trace=trace,
                 )
                 # One chunk callback per session, rescheduling itself: the
                 # previous closure-per-chunk allocated a fresh function and

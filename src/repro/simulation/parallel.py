@@ -53,6 +53,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..cdn.server import CdnServer
 from ..obs import publish_last_run
 from ..obs.registry import MetricsRegistry
+from ..obs.trace import TraceRecorder
 from ..telemetry.dataset import Dataset
 from .config import SimulationConfig
 from .driver import SimulationResult, Simulator, World, build_world
@@ -154,17 +155,25 @@ def execute_periods(
         raise ValueError("periods must be non-empty")
     if metrics is None:
         metrics = MetricsRegistry()
+    # One trace recorder for the whole multi-period run, so config-change
+    # periods keep appending to the same event stream (like the registry).
+    trace = (
+        TraceRecorder(periods[0].config.trace_sample)
+        if periods[0].config.trace_sample > 0
+        else None
+    )
     simulator: Optional[Simulator] = None
     datasets: List[Dataset] = []
     for spec in periods:
         if simulator is None:
             simulator = Simulator(
                 spec.config, shard=shard, world=world, clock_sync=clock_sync,
-                metrics=metrics,
+                metrics=metrics, trace=trace,
             )
         elif spec.config != simulator.config:
             successor = Simulator(
-                spec.config, shard=shard, clock_sync=clock_sync, metrics=metrics
+                spec.config, shard=shard, clock_sync=clock_sync, metrics=metrics,
+                trace=trace,
             )
             if spec.carry_fleet:
                 successor.servers = simulator.servers
@@ -241,6 +250,10 @@ def _shard_worker_main(task: _ShardTask, conn) -> None:
                 "pid": os.getpid(),
                 "metrics": registry.snapshot(),
                 "span_totals": tuple(registry.tracer.totals()),
+                # pre-sorted like the datasets: the parent k-way merges
+                "trace": (
+                    simulator.trace.events() if simulator.trace is not None else None
+                ),
             }
         )
     except Exception:
@@ -318,6 +331,9 @@ class ParallelSimulator:
         self.n_shards = self.workers
         #: merged observability registry of the last completed run
         self.metrics: Optional[MetricsRegistry] = None
+        #: merged causal-trace recorder of the last completed run (None
+        #: unless the config enables tracing)
+        self.trace: Optional[TraceRecorder] = None
 
     # -- public API ----------------------------------------------------------
 
@@ -344,6 +360,7 @@ class ParallelSimulator:
             config=self.config,
             shard_reports=reports,
             metrics=registry,
+            trace=self.trace,
         )
         publish_last_run(registry)
         return result
@@ -403,6 +420,19 @@ class ParallelSimulator:
             ]
             for index in sorted(outputs):
                 registry.merge_snapshot(outputs[index]["metrics"])
+            # Trace merge: like the datasets, each shard ships canonically
+            # pre-sorted events; a k-way merge in sorted shard order IS the
+            # canonical (session, chunk, seq) order, so the export equals
+            # the serial run's byte for byte.
+            self.trace = None
+            if self.config.trace_sample > 0:
+                self.trace = TraceRecorder(self.config.trace_sample)
+                self.trace.adopt_sorted(
+                    TraceRecorder.merge_sorted(
+                        outputs[index].get("trace") or []
+                        for index in sorted(outputs)
+                    )
+                )
         servers: Dict[str, CdnServer] = {}
         for index in sorted(outputs):
             for server_id, server in outputs[index]["servers"].items():

@@ -31,6 +31,7 @@ from ..faults.injector import FaultInjector, merge_labels
 from ..net.path import NetworkPath, build_session_path
 from ..net.tcp import TcpConnection
 from ..obs.registry import MetricsRegistry
+from ..obs.trace import TraceRecorder
 from ..telemetry.collector import TelemetryCollector
 from ..telemetry.records import (
     CdnChunkRecord,
@@ -60,6 +61,7 @@ class SessionActor:
         config: SimulationConfig,
         metrics: Optional[MetricsRegistry] = None,
         faults: Optional[FaultInjector] = None,
+        trace: Optional[TraceRecorder] = None,
     ) -> None:
         self.plan = plan
         self.mapping = mapping
@@ -68,6 +70,10 @@ class SessionActor:
         self.collector = collector
         self.config = config
         self.faults = faults
+        # Causal tracing (docs/OBSERVABILITY.md, "Tracing"): the recorder's
+        # head-sampling decides per session id; untraced sessions (and runs
+        # with tracing off) pay one ``is None`` check per chunk.
+        self._trace = trace.session_trace(plan.session_id) if trace is not None else None
         # Observability: chunk-lifecycle metrics (docs/OBSERVABILITY.md).
         self.metrics = metrics
         if metrics is not None:
@@ -192,9 +198,31 @@ class SessionActor:
         size_bytes = video.chunk_bytes(index, bitrate)
         key = (video.video_id, index, int(bitrate))
 
+        # Causal trace: a per-chunk emitter when this session is sampled.
+        # The path fault is a pure function of sim time, queried once here
+        # and reused by the ground-truth stamping below.
+        ct = self._trace.chunk(index) if self._trace is not None else None
+        path_fault = (
+            self.faults.path_state(
+                plan.client.prefix.org, plan.client.prefix.prefix_id, now_ms
+            )
+            if self.faults is not None
+            else None
+        )
+
         # --- fetch phase: request travels to the server, server serves ---
         rtt0 = self.path.sample_rtt(now_ms)
-        serve = self.server.serve(key, size_bytes, now_ms + rtt0 / 2.0)
+        if ct is not None:
+            net_labels = (
+                ",".join(sorted(set(path_fault.labels))) if path_fault else ""
+            )
+            ct.emit(
+                "session.request", now_ms,
+                bitrate_kbps=float(bitrate), chunk_bytes=int(size_bytes),
+                buffer_ms=buffer_level_now,
+            )
+            ct.emit("net.propagation", now_ms, rtt0, faults=net_labels)
+        serve = self.server.serve(key, size_bytes, now_ms + rtt0 / 2.0, trace=ct)
         if serve.status.value == "miss":
             if not self.session_had_miss and self.config.prefetch_after_miss:
                 self._prefetch_following(index, bitrate)
@@ -204,6 +232,28 @@ class SessionActor:
         transfer_start = now_ms + rtt0 / 2.0 + serve.total_ms + rtt0 / 2.0
         transfer = self.tcp.transfer(size_bytes, transfer_start)
         network_dlb = transfer.duration_ms
+        if ct is not None:
+            ct.emit(
+                "net.transfer", transfer_start, network_dlb, faults=net_labels,
+                segments_sent=transfer.segments_sent,
+                segments_retx=transfer.segments_retx, rounds=transfer.rounds,
+            )
+            # The evolving 500 ms tcp_info stream (the dataset's records
+            # stamp post-transfer state; the trace keeps each sample's own).
+            for sample in transfer.samples:
+                ct.emit(
+                    "net.tcp_sample", sample.t_ms, faults=net_labels,
+                    cwnd_segments=sample.cwnd_segments, srtt_ms=sample.srtt_ms,
+                    rttvar_ms=sample.rttvar_ms, rto_ms=sample.rto_ms,
+                    retx_total=sample.retx_total,
+                )
+            end_sample = self.tcp.state_sample(transfer_start + network_dlb)
+            ct.emit(
+                "net.tcp_sample", end_sample.t_ms, faults=net_labels,
+                cwnd_segments=end_sample.cwnd_segments,
+                srtt_ms=end_sample.srtt_ms, rttvar_ms=end_sample.rttvar_ms,
+                rto_ms=end_sample.rto_ms, retx_total=end_sample.retx_total,
+            )
 
         # --- client download stack ---
         ds = self.downloadstack.sample(index, network_dlb)
@@ -240,6 +290,34 @@ class SessionActor:
             chunk_duration_ms=duration_ms,
             extra_drop_fraction=render_fault.drop_add if render_fault else 0.0,
         )
+        if ct is not None:
+            stack_start = now_ms + rtt0 + serve.total_ms
+            ct.emit(
+                "client.stack_delay", stack_start, ds.first_byte_delay_ms,
+                transient=ds.transient,
+            )
+            ct.emit("client.first_byte", now_ms + dfb)
+            ct.emit("client.last_byte", complete_ms)
+            ct.emit(
+                "client.buffer_append", complete_ms,
+                rebuffer_count=rebuffer_count, rebuffer_ms=rebuffer_ms,
+                buffer_ms=pre_append_level,
+            )
+            if rebuffer_ms > 0.0:
+                ct.emit(
+                    "client.rebuffer", complete_ms - rebuffer_ms, rebuffer_ms
+                )
+            ct.emit(
+                "client.render", complete_ms,
+                faults=(
+                    ",".join(sorted(set(render_fault.labels)))
+                    if render_fault
+                    else ""
+                ),
+                visible=bool(plan.visibility[index]),
+                dropped_frames=render.dropped_frames,
+                total_frames=render.total_frames,
+            )
 
         # --- telemetry, both sides ---
         self.collector.add_player_chunk(
@@ -284,6 +362,7 @@ class SessionActor:
         snap_rttvar = tcp.rttvar_ms
         snap_retx = tcp.retx_total
         snap_mss = tcp.mss
+        snap_rto = tcp.rto_ms
         add_tcp_snapshot = self.collector.add_tcp_snapshot
         for sample in transfer.samples:
             add_tcp_snapshot(
@@ -296,6 +375,7 @@ class SessionActor:
                     rttvar_ms=snap_rttvar,
                     retx_total=snap_retx,
                     mss=snap_mss,
+                    rto_ms=snap_rto,
                 )
             )
         # §2.1: at least one snapshot per chunk — force one at transfer end.
@@ -309,6 +389,7 @@ class SessionActor:
                 rttvar_ms=snap_rttvar,
                 retx_total=snap_retx,
                 mss=snap_mss,
+                rto_ms=snap_rto,
             )
         )
 
@@ -319,9 +400,6 @@ class SessionActor:
         if self.faults is not None:
             server_fault = self.faults.server_state(
                 self.server.server_id, now_ms + rtt0 / 2.0
-            )
-            path_fault = self.faults.path_state(
-                plan.client.prefix.org, plan.client.prefix.prefix_id, now_ms
             )
             fault_labels = merge_labels(
                 server_fault.labels if server_fault else (),

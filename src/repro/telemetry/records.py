@@ -126,6 +126,9 @@ class TcpInfoRecord:
     rttvar_ms: float
     retx_total: int  # cumulative retransmissions on the connection
     mss: int
+    #: retransmission timeout (paper footnote 5: 200 ms + srtt + 4*rttvar);
+    #: defaulted so datasets persisted before the field existed still load
+    rto_ms: float = 0.0
 
     @property
     def throughput_kbps(self) -> float:

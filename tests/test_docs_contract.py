@@ -17,7 +17,7 @@ import re
 from pathlib import Path
 from typing import List, Set, Tuple
 
-from repro.obs import METRIC_SPECS, SPAN_SPECS
+from repro.obs import METRIC_SPECS, SPAN_SPECS, TRACE_EVENT_SPECS
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OBSERVABILITY_MD = REPO_ROOT / "docs" / "OBSERVABILITY.md"
@@ -59,16 +59,16 @@ class TestMetricsContractSync:
         assert OBSERVABILITY_MD.is_file()
 
     def test_every_registered_name_is_documented(self):
-        registered = set(METRIC_SPECS) | set(SPAN_SPECS)
+        registered = set(METRIC_SPECS) | set(SPAN_SPECS) | set(TRACE_EVENT_SPECS)
         missing = sorted(registered - documented_names())
         assert not missing, (
-            "metrics/spans registered in repro.obs but undocumented in "
-            f"docs/OBSERVABILITY.md: {missing} — add a contract-table row "
-            "for each"
+            "metrics/spans/trace events registered in repro.obs but "
+            f"undocumented in docs/OBSERVABILITY.md: {missing} — add a "
+            "contract-table row for each"
         )
 
     def test_every_documented_name_is_registered(self):
-        registered = set(METRIC_SPECS) | set(SPAN_SPECS)
+        registered = set(METRIC_SPECS) | set(SPAN_SPECS) | set(TRACE_EVENT_SPECS)
         stale = sorted(documented_names() - registered)
         assert not stale, (
             "names documented in docs/OBSERVABILITY.md but not registered "
@@ -77,7 +77,27 @@ class TestMetricsContractSync:
 
     def test_contract_is_nontrivial(self):
         # guard against the lint trivially passing on an empty doc
-        assert len(documented_names()) >= 20
+        assert len(documented_names()) >= 35
+
+    def test_trace_event_phases_documented(self):
+        # every trace-event row must state its phase (span/instant) so the
+        # Chrome-export semantics stay readable from the doc alone
+        text = OBSERVABILITY_MD.read_text(encoding="utf-8")
+        for name, spec in TRACE_EVENT_SPECS.items():
+            row = next(
+                (
+                    line
+                    for line in text.splitlines()
+                    if _CONTRACT_ROW.match(line)
+                    and _CONTRACT_ROW.match(line).group(1) == name
+                ),
+                None,
+            )
+            assert row is not None, name
+            assert f"| {spec.phase} |" in row, (
+                f"{name}: documented row does not state its phase "
+                f"{spec.phase!r}: {row!r}"
+            )
 
     def test_units_documented_for_all_metrics(self):
         # every metric row must carry the spec's unit in its line
