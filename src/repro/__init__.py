@@ -35,6 +35,7 @@ from .api import RunResult, run
 from .faults import FaultSpec
 from .simulation.config import SimulationConfig
 from .simulation.driver import SimulationResult, Simulator, simulate
+from .sweep import ScenarioSpec, SweepSpec, run_sweep
 from .telemetry.dataset import Dataset, JoinedChunk, SessionView
 
 __version__ = "1.0.0"
@@ -43,6 +44,9 @@ __all__ = [
     "run",
     "RunResult",
     "FaultSpec",
+    "ScenarioSpec",
+    "SweepSpec",
+    "run_sweep",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",

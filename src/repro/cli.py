@@ -142,6 +142,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="directory to persist per-period datasets (baseline/, incident/)",
     )
+    scenario.add_argument(
+        "--json", default=None, metavar="FILE", dest="json_out",
+        help="write the outcome document (per-period QoE, deltas, "
+             "faultscore) as JSON — the same serialization sweep cells "
+             "use ('-' for stdout; see docs/SCENARIOS.md)",
+    )
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="factorial scenario sweeps: run a grid, list its cells, "
+             "re-aggregate a report (docs/SCENARIOS.md)",
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+    sweep_run = sweep_sub.add_parser(
+        "run", help="execute every cell of a sweep spec through repro.api.run"
+    )
+    sweep_run.add_argument("spec", help="SweepSpec JSON file (the scenario DSL)")
+    sweep_run.add_argument(
+        "--out", default=None,
+        help="output directory (sweep.json, report.json/.txt, cells/*)",
+    )
+    sweep_run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per cell; cells run one after another and "
+             "each shards internally, preserving per-cell byte identity",
+    )
+    sweep_run.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="S",
+        help="wall-clock budget per shard attempt within each cell",
+    )
+    sweep_run.add_argument(
+        "--cell", action="append", default=None, metavar="NAME",
+        help="run only the named cell(s); repeatable — a single cell "
+             "reproduces its record stream exactly (determinism contract)",
+    )
+    sweep_list = sweep_sub.add_parser(
+        "list", help="print the factorial grid of a sweep spec in run order"
+    )
+    sweep_list.add_argument("spec", help="SweepSpec JSON file")
+    sweep_report = sweep_sub.add_parser(
+        "report",
+        help="re-aggregate a sweep output directory into report.json/.txt",
+    )
+    sweep_report.add_argument("out_dir", help="directory from 'sweep run --out'")
 
     analyze = commands.add_parser("analyze", help="QoE + bottleneck localization")
     analyze.add_argument("dataset", help="dataset directory from 'simulate'")
@@ -413,7 +457,90 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         save_dataset(outcome.baseline, base / "baseline")
         save_dataset(outcome.incident, base / "incident")
         print(f"wrote baseline/ and incident/ datasets under {base}")
+    if args.json_out:
+        from .obs.manifest import dump_json
+        from .sweep.report import outcome_document
+
+        document = outcome_document(
+            name=args.name,
+            labels=["baseline", "incident"],
+            datasets=[outcome.baseline, outcome.incident],
+        )
+        payload = dump_json(document)
+        if args.json_out == "-":
+            sys.stdout.write(payload)
+        else:
+            path = Path(args.json_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(payload, encoding="utf-8")
+            print(f"wrote outcome document to {path}")
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sweep import (
+        SweepSpec,
+        aggregate_report,
+        format_report,
+        load_cell_documents,
+        run_sweep,
+        write_report,
+    )
+
+    if args.sweep_command == "list":
+        spec = SweepSpec.load(args.spec)
+        print(f"sweep {spec.name!r}: {spec.n_cells} cells over "
+              f"{len(spec.axes)} axes "
+              f"({' x '.join(axis.axis for axis in spec.axes)})")
+        for cell in spec.cells():
+            print(f"  {cell.name}")
+        return 0
+
+    if args.sweep_command == "report":
+        documents, failures = load_cell_documents(args.out_dir)
+        if not documents and not failures:
+            print(f"no cells found under {args.out_dir}", file=sys.stderr)
+            return 2
+        sweep_name = Path(args.out_dir).name
+        sweep_json = Path(args.out_dir) / "sweep.json"
+        if sweep_json.is_file():
+            import json as _json
+
+            sweep_name = _json.loads(
+                sweep_json.read_text(encoding="utf-8")
+            ).get("name", sweep_name)
+        report = aggregate_report(sweep_name, documents, failures)
+        write_report(report, args.out_dir)
+        print(format_report(report))
+        return 0
+
+    # sweep run
+    spec = SweepSpec.load(args.spec)
+    n_selected = len(args.cell) if args.cell else spec.n_cells
+    print(f"running sweep {spec.name!r}: {n_selected} of {spec.n_cells} "
+          f"cells, workers {args.workers}...")
+    started = time.perf_counter()
+    try:
+        result = run_sweep(
+            spec,
+            workers=args.workers,
+            shard_timeout_s=args.shard_timeout,
+            out_dir=args.out,
+            cell_names=args.cell,
+            progress=print,
+        )
+    except KeyError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    print()
+    print(format_report(result.report))
+    print(f"\nsweep finished in {elapsed:.1f}s "
+          f"({result.n_failed}/{len(result.cells)} cells failed)")
+    if result.out_dir is not None:
+        print(f"wrote sweep.json, report.json, report.txt and "
+              f"cells/ under {result.out_dir}")
+    return 1 if result.n_failed else 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -541,6 +668,7 @@ _HANDLERS = {
     "metrics": _cmd_metrics,
     "faultscore": _cmd_faultscore,
     "scenario": _cmd_scenario,
+    "sweep": _cmd_sweep,
     "analyze": _cmd_analyze,
     "findings": _cmd_findings,
     "experiment": _cmd_experiment,

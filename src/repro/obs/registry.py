@@ -226,6 +226,17 @@ METRIC_SPECS: Dict[str, MetricSpec] = _specs(
             "(warmup streams included; their labels are discarded with "
             "the rest of the warmup telemetry).", "—",
         ),
+        # -- sweep runner (docs/SCENARIOS.md) -------------------------------
+        MetricSpec(
+            "sweeps.cells_total", "counter", "cells",
+            "Factorial sweep cells executed by the sweep runner "
+            "(succeeded and failed).", "—",
+        ),
+        MetricSpec(
+            "sweeps.cells_failed_total", "counter", "cells",
+            "Sweep cells whose scenario resolution or simulation raised "
+            "(recorded in the aggregate report's failed map).", "—",
+        ),
     ]
 )
 

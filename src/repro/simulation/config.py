@@ -43,6 +43,12 @@ class SimulationConfig:
     zipf_alpha: float = 0.9
     bitrate_ladder_kbps: Tuple[int, ...] = DEFAULT_BITRATE_LADDER_KBPS
     arrival_rate_per_s: float = 30.0
+    #: abandonment model (Fig. 11(a)): median and lognormal shape of the
+    #: per-session watch-chunk draw.  The defaults reproduce the paper's
+    #: session-length CDF; the skewed short-session workload shape
+    #: (docs/SCENARIOS.md, after Grammenos et al.) pushes the median down.
+    watch_median_chunks: float = 5.0
+    watch_sigma_chunks: float = 0.9
     population: PopulationConfig = field(default_factory=PopulationConfig)
 
     # -- CDN ---------------------------------------------------------------
@@ -113,6 +119,10 @@ class SimulationConfig:
             raise ValueError("prefetch_depth must be non-negative")
         if self.max_buffer_ms <= 0:
             raise ValueError("max_buffer_ms must be positive")
+        if self.watch_median_chunks <= 0:
+            raise ValueError("watch_median_chunks must be positive")
+        if self.watch_sigma_chunks < 0:
+            raise ValueError("watch_sigma_chunks must be non-negative")
         if not 0.0 <= self.trace_sample <= 1.0:
             raise ValueError("trace_sample must be within [0, 1]")
         # Stringly-typed knobs are validated against their registries here,

@@ -324,6 +324,8 @@ class Simulator:
             population=self.population,
             seed=seed,
             arrival_rate_per_s=config.arrival_rate_per_s,
+            watch_median_chunks=config.watch_median_chunks,
+            watch_sigma_chunks=config.watch_sigma_chunks,
         )
         loop = EventLoop(metrics=self.metrics)
 

@@ -1,13 +1,19 @@
 """Incident scenarios: canned what-if studies on the simulated platform.
 
-Each scenario is declared as two :class:`~repro.simulation.parallel.PeriodSpec`
-periods — a *baseline* and an *incident* — executed back to back on one
-fleet (cache state carries over, as in production) and returns both
-datasets so :func:`repro.core.comparison.compare_datasets` can quantify the
-damage.  The same period list drives both execution paths: the classic
-serial run, and — with ``workers > 1`` — the sharded parallel runner, which
-keeps each CDN server's request stream inside one worker so the telemetry
-is identical (see docs/PARALLEL.md).
+Since PR 6 the canned scenarios are *declared*, not hand-built: each is a
+:class:`~repro.sweep.spec.ScenarioSpec` in
+:data:`repro.sweep.spec.CANNED_SCENARIOS` (the scenario-matrix DSL,
+docs/SCENARIOS.md), and this module keeps the historical entry points as
+thin wrappers over it:
+
+* :data:`SCENARIOS` still maps each name to a ``builder(seed) ->
+  List[PeriodSpec]`` callable (now ``ScenarioSpec.resolve``);
+* :func:`run_scenario` still executes a named scenario through the
+  unified :func:`repro.api.run` facade and returns a
+  :class:`ScenarioOutcome`;
+* the period-mutation callables (``_flush_caches``, ``_slow_backend``)
+  still live here — DSL specs reference them by dotted name, so shard
+  workers can import them.
 
 Scenarios:
 
@@ -17,18 +23,21 @@ Scenarios:
   every chunk pays the miss path until re-warmed.
 * ``backend-brownout`` — the origin slows down (e.g. storage degradation):
   misses get much more expensive.
+
+The imperative ``_periods_*`` builders of PRs 3–5 are deprecated; new
+scenarios should be written as :class:`ScenarioSpec` values (JSON or
+code) and run via ``repro sweep`` or :func:`repro.sweep.run_cell`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from dataclasses import replace
-
 from ..cdn.cache import TwoLevelCache
+from ..sweep.spec import CANNED_SCENARIOS, ScenarioSpec
 from ..telemetry.dataset import Dataset
-from .config import SimulationConfig
 from .driver import Simulator
 from .parallel import PeriodSpec, ShardReport
 
@@ -46,10 +55,6 @@ class ScenarioOutcome:
     simulator: Optional[Simulator]
     #: per-shard execution telemetry; empty for serial runs
     shard_reports: List[ShardReport] = field(default_factory=list)
-
-
-def _default_config(seed: int) -> SimulationConfig:
-    return SimulationConfig(n_sessions=800, warmup_sessions=1600, seed=seed)
 
 
 # -- period mutations (referenced by name so shard workers can import them) --
@@ -71,58 +76,69 @@ def _slow_backend(simulator: Simulator, slowdown: float) -> None:
         server.backend.service_mean_ms *= slowdown
 
 
-# -- scenario declarations ---------------------------------------------------
+# -- the registry: DSL specs behind the historical builder signature ---------
 
 
-def _periods_flash_crowd(seed: int) -> List[PeriodSpec]:
-    """Arrivals triple and concentrate on a 10-title hot set."""
-    base = _default_config(seed)
-    crowd = base.with_overrides(
-        arrival_rate_per_s=base.arrival_rate_per_s * 3.0,
-        zipf_alpha=1.6,  # interest collapses onto the head
-        n_videos=10,
-        warmup_sessions=0,
-        seed=seed + 1,
-    )
-    # the incident keeps the warmed fleet (carry_fleet) under hotter demand
-    return [
-        PeriodSpec(config=base, label="baseline"),
-        PeriodSpec(config=crowd, label="incident"),
-    ]
+def _builder(spec: ScenarioSpec) -> Callable[[int], List[PeriodSpec]]:
+    def build(seed: int) -> List[PeriodSpec]:
+        return spec.resolve(seed=seed)
 
-
-def _periods_cache_flush(seed: int) -> List[PeriodSpec]:
-    """All caches restart cold between the two periods."""
-    base = _default_config(seed)
-    return [
-        PeriodSpec(config=base, label="baseline"),
-        PeriodSpec(
-            config=base,
-            label="incident",
-            mutation="repro.simulation.scenarios:_flush_caches",
-        ),
-    ]
-
-
-def _periods_backend_brownout(seed: int, slowdown: float = 8.0) -> List[PeriodSpec]:
-    """The origin's service time multiplies (storage degradation)."""
-    base = _default_config(seed)
-    return [
-        PeriodSpec(config=base, label="baseline"),
-        PeriodSpec(
-            config=base,
-            label="incident",
-            mutation="repro.simulation.scenarios:_slow_backend",
-            mutation_args=(slowdown,),
-        ),
-    ]
+    build.__doc__ = spec.description
+    return build
 
 
 SCENARIOS: Dict[str, Callable[[int], List[PeriodSpec]]] = {
-    "flash-crowd": _periods_flash_crowd,
-    "cache-flush": _periods_cache_flush,
-    "backend-brownout": _periods_backend_brownout,
+    name: _builder(spec) for name, spec in CANNED_SCENARIOS.items()
 }
+
+
+def _deprecated_builder(name: str, **resolve_kwargs):
+    warnings.warn(
+        f"the imperative _periods_* builders are deprecated; use "
+        f"repro.sweep.CANNED_SCENARIOS[{name!r}].resolve(...) or the "
+        "scenario DSL (docs/SCENARIOS.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return CANNED_SCENARIOS[name].resolve(**resolve_kwargs)
+
+
+def _periods_flash_crowd(seed: int) -> List[PeriodSpec]:
+    """Deprecated: the flash-crowd ScenarioSpec replaces this builder."""
+    return _deprecated_builder("flash-crowd", seed=seed)
+
+
+def _periods_cache_flush(seed: int) -> List[PeriodSpec]:
+    """Deprecated: the cache-flush ScenarioSpec replaces this builder."""
+    return _deprecated_builder("cache-flush", seed=seed)
+
+
+def _periods_backend_brownout(seed: int, slowdown: float = 8.0) -> List[PeriodSpec]:
+    """Deprecated: the backend-brownout ScenarioSpec replaces this builder."""
+    from dataclasses import replace as _replace
+
+    from ..sweep.spec import PeriodDef
+
+    spec = CANNED_SCENARIOS["backend-brownout"]
+    if slowdown != 8.0:
+        periods = tuple(
+            PeriodDef(
+                label=period.label,
+                overrides=period.overrides,
+                mutation=period.mutation,
+                mutation_args=(slowdown,) if period.mutation else (),
+            )
+            for period in spec.periods
+        )
+        spec = _replace(spec, periods=periods)
+    warnings.warn(
+        "the imperative _periods_* builders are deprecated; use "
+        "repro.sweep.CANNED_SCENARIOS['backend-brownout'].resolve(...) or "
+        "the scenario DSL (docs/SCENARIOS.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return spec.resolve(seed=seed)
 
 
 def run_scenario(
@@ -138,27 +154,20 @@ def run_scenario(
     incident); the datasets are canonically ordered and, under the default
     ``server`` sharding, identical to the serial run's records.
 
-    This is a thin wrapper over the unified :func:`repro.api.run` facade —
-    the scenario builder produces the period list, ``run(periods=...)``
-    executes it.
+    This is a thin wrapper over the scenario DSL plus the unified
+    :func:`repro.api.run` facade — the named
+    :class:`~repro.sweep.spec.ScenarioSpec` resolves to the period list,
+    ``run(periods=...)`` executes it.
     """
     from ..api import run
 
     try:
-        builder = SCENARIOS[name]
+        spec = CANNED_SCENARIOS[name]
     except KeyError:
         raise ValueError(
-            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+            f"unknown scenario {name!r}; choose from {sorted(CANNED_SCENARIOS)}"
         ) from None
-    periods = [
-        replace(
-            period,
-            config=period.config.with_overrides(
-                workers=workers, shard_timeout_s=shard_timeout_s
-            ),
-        )
-        for period in builder(seed)
-    ]
+    periods = spec.resolve(seed=seed, workers=workers, shard_timeout_s=shard_timeout_s)
     result = run(periods=periods)
     return ScenarioOutcome(
         name,

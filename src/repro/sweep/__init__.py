@@ -1,0 +1,84 @@
+"""repro.sweep — the scenario-matrix DSL and factorial sweep runner.
+
+Declarative, JSON-loadable scenarios (:class:`ScenarioSpec`: workload
+shape × config overrides × fault schedule), factorial grids over them
+(:class:`SweepSpec`), a runner that executes every cell through the
+unified :func:`repro.api.run` facade with per-cell metrics/faultscore
+capture (:func:`run_sweep`), and the aggregation layer that pivots the
+grid into one comparison report (:mod:`repro.sweep.report`).
+
+The DSL grammar and the report schemas are documented in
+docs/SCENARIOS.md; the docs-sync lint (tests/test_docs_contract.py)
+keeps grammar and docs aligned in both directions.
+
+Quickstart::
+
+    from repro.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec.load("examples/sweep_mapping_vs_faults.json")
+    result = run_sweep(spec, workers=4, out_dir="sweep-out/")
+    print(result.report["ranking"]["by_rebuffer"][0])   # the best cell
+
+CLI: ``repro sweep run|list|report`` (see docs/SCENARIOS.md).
+"""
+
+from .report import (
+    OUTCOME_SCHEMA,
+    REPORT_SCHEMA,
+    aggregate_report,
+    faultscore_summary,
+    format_report,
+    load_cell_documents,
+    outcome_document,
+    write_report,
+)
+from .runner import CellResult, SweepResult, run_cell, run_sweep
+from .spec import (
+    AXIS_FIELDS,
+    AXIS_VALUE_FIELDS,
+    CANNED_SCENARIOS,
+    DEFAULT_SCENARIO_SEED,
+    PERIOD_FIELDS,
+    SCENARIO_FIELDS,
+    SWEEP_FIELDS,
+    TRANSFORM_KEYS,
+    WORKLOAD_SHAPES,
+    AxisValue,
+    PeriodDef,
+    ScenarioSpec,
+    ShapeResult,
+    SweepAxis,
+    SweepCell,
+    SweepSpec,
+)
+
+__all__ = [
+    "OUTCOME_SCHEMA",
+    "REPORT_SCHEMA",
+    "AXIS_FIELDS",
+    "AXIS_VALUE_FIELDS",
+    "PERIOD_FIELDS",
+    "SCENARIO_FIELDS",
+    "SWEEP_FIELDS",
+    "TRANSFORM_KEYS",
+    "WORKLOAD_SHAPES",
+    "CANNED_SCENARIOS",
+    "DEFAULT_SCENARIO_SEED",
+    "PeriodDef",
+    "ScenarioSpec",
+    "ShapeResult",
+    "AxisValue",
+    "SweepAxis",
+    "SweepCell",
+    "SweepSpec",
+    "CellResult",
+    "SweepResult",
+    "run_cell",
+    "run_sweep",
+    "aggregate_report",
+    "faultscore_summary",
+    "format_report",
+    "load_cell_documents",
+    "outcome_document",
+    "write_report",
+]

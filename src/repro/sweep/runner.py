@@ -1,0 +1,202 @@
+"""The factorial sweep runner: execute every cell, capture everything.
+
+Each cell of a :class:`~repro.sweep.spec.SweepSpec` resolves to a plain
+period list and runs through the unified :func:`repro.api.run` facade —
+so every cell inherits the whole execution stack: the sharded
+``--workers`` machinery, fault injection, the deterministic
+metrics/manifest emitters.  Determinism contract: per-cell metrics
+documents and the aggregate report are byte-identical for any worker
+count, and re-running a single cell by name reproduces its record stream
+(tests/test_sweep.py pins both).
+
+Execution telemetry: the runner counts cells into the ``sweeps.*``
+contract metrics (docs/OBSERVABILITY.md) on its own registry — cell
+registries stay per-run and untouched, exactly like shard registries.
+
+Output layout (``run_sweep(..., out_dir=...)``)::
+
+    out/
+      sweep.json            # the resolved spec (inlined fault schedules)
+      report.json           # aggregate comparison document
+      report.txt            # the same, as an aligned table
+      cells/<cell name>/
+        cell.json           # per-cell outcome document
+        metrics.json        # the deterministic metrics document
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..obs.manifest import dump_json
+from ..obs.registry import MetricsRegistry
+from .report import aggregate_report, outcome_document, write_report
+from .spec import SweepCell, SweepSpec
+
+__all__ = ["CellResult", "SweepResult", "run_cell", "run_sweep"]
+
+
+@dataclass
+class CellResult:
+    """Everything one executed cell produced (or the error that stopped it)."""
+
+    name: str
+    coordinates: Dict[str, str]
+    #: the per-cell outcome document (None when the cell failed)
+    document: Optional[Dict[str, Any]] = None
+    #: the deterministic metrics document, canonically serialized
+    metrics_json: Optional[str] = None
+    error: Optional[str] = None
+    #: wall-clock seconds (execution telemetry; never serialized into the
+    #: deterministic report artifacts)
+    wall_time_s: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepResult:
+    """A finished sweep: per-cell results plus the aggregate report."""
+
+    spec: SweepSpec
+    cells: List[CellResult]
+    report: Dict[str, Any]
+    #: the runner's registry (sweeps.* counters)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    out_dir: Optional[Path] = None
+
+    @property
+    def n_failed(self) -> int:
+        return sum(not cell.succeeded for cell in self.cells)
+
+
+def run_cell(
+    cell: SweepCell,
+    workers: int = 1,
+    shard_timeout_s: Optional[float] = None,
+) -> CellResult:
+    """Execute one cell end to end; never raises on simulation failure.
+
+    The cell's scenario resolves with the caller's execution knobs (which
+    never enter the spec, so the telemetry is worker-count-independent)
+    and runs through ``repro.api.run``.  Spec-resolution errors (bad
+    override, malformed fault schedule) are captured the same way as
+    runtime failures: as a failed :class:`CellResult`.
+    """
+    from ..api import run  # lazy: repro.api imports the simulation package
+
+    coordinates = dict(cell.coordinates)
+    started = time.perf_counter()
+    try:
+        periods = cell.resolve(workers=workers, shard_timeout_s=shard_timeout_s)
+        result = run(periods=periods)
+        document = outcome_document(
+            name=cell.name,
+            labels=list(result.labels),
+            datasets=list(result.datasets),
+            coordinates=cell.coordinates,
+        )
+        metrics_json = dump_json(result.metrics_document())
+    except Exception as error:  # a cell failing must not kill the grid
+        return CellResult(
+            name=cell.name,
+            coordinates=coordinates,
+            error=f"{type(error).__name__}: {error}",
+            wall_time_s=time.perf_counter() - started,
+        )
+    return CellResult(
+        name=cell.name,
+        coordinates=coordinates,
+        document=document,
+        metrics_json=metrics_json,
+        wall_time_s=time.perf_counter() - started,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    shard_timeout_s: Optional[float] = None,
+    out_dir: Optional[Union[str, Path]] = None,
+    cell_names: Optional[Sequence[str]] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Run the factorial grid (or the named subset) cell by cell.
+
+    Cells execute in the spec's canonical order; each one shards across
+    *workers* processes internally, so the grid keeps the record-identity
+    contract cell by cell instead of racing cells against each other.
+    *cell_names* restricts the run (``repro sweep run --cell``); unknown
+    names raise before anything executes.  *progress* receives one line
+    per cell as it finishes.
+    """
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    cells_total = metrics.counter("sweeps.cells_total")
+    cells_failed = metrics.counter("sweeps.cells_failed_total")
+    grid = spec.cells()
+    if cell_names is not None:
+        by_name = {cell.name: cell for cell in grid}
+        missing = sorted(set(cell_names) - set(by_name))
+        if missing:
+            raise KeyError(
+                f"no cell(s) named {missing} in sweep {spec.name!r}; "
+                f"grid: {[cell.name for cell in grid]}"
+            )
+        selected_names = set(cell_names)
+        grid = [cell for cell in grid if cell.name in selected_names]
+
+    out_path = Path(out_dir) if out_dir is not None else None
+    if out_path is not None:
+        spec.save(out_path / "sweep.json")
+
+    results: List[CellResult] = []
+    for cell in grid:
+        result = run_cell(cell, workers=workers, shard_timeout_s=shard_timeout_s)
+        cells_total.inc()
+        if not result.succeeded:
+            cells_failed.inc()
+        results.append(result)
+        if out_path is not None:
+            _write_cell(out_path, result)
+        if progress is not None:
+            status = (
+                f"ok in {result.wall_time_s:.1f}s"
+                if result.succeeded
+                else f"FAILED ({result.error})"
+            )
+            progress(f"cell {len(results)}/{len(grid)} {result.name}: {status}")
+
+    documents = {
+        result.name: result.document for result in results if result.succeeded
+    }
+    failed = {
+        result.name: result.error for result in results if not result.succeeded
+    }
+    report = aggregate_report(spec.name, documents, failed)
+    sweep_result = SweepResult(
+        spec=spec, cells=results, report=report, metrics=metrics, out_dir=out_path
+    )
+    if out_path is not None:
+        write_report(report, out_path)
+    return sweep_result
+
+
+def _write_cell(out_dir: Path, result: CellResult) -> None:
+    cell_dir = out_dir / "cells" / result.name
+    cell_dir.mkdir(parents=True, exist_ok=True)
+    if result.succeeded:
+        assert result.document is not None and result.metrics_json is not None
+        (cell_dir / "cell.json").write_text(
+            dump_json(result.document), encoding="utf-8"
+        )
+        (cell_dir / "metrics.json").write_text(result.metrics_json, encoding="utf-8")
+    else:
+        (cell_dir / "error.txt").write_text(
+            (result.error or "unknown error") + "\n", encoding="utf-8"
+        )

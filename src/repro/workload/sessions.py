@@ -39,15 +39,23 @@ class SessionPlan:
         return self.watch_chunks
 
 
-def _sample_watch_chunks(rng: np.random.Generator, video: Video) -> int:
+def _sample_watch_chunks(
+    rng: np.random.Generator,
+    video: Video,
+    median_chunks: float = 5.0,
+    sigma: float = 0.9,
+) -> int:
     """How many chunks does the user actually watch?
 
     Viewing time is long-tailed: many viewers abandon within the first few
     chunks, some watch to the end.  Fig. 11(a)'s session-length CDF has a
     median of roughly 4-6 chunks with a tail past 20; a geometric-like
-    lognormal truncated by the video length reproduces that.
+    lognormal truncated by the video length reproduces that.  The
+    median/shape are configurable so short-session workloads (e.g. the
+    skewed portal traffic of Grammenos et al.) can be expressed without a
+    new sampler.
     """
-    intended = int(round(rng.lognormal(np.log(5.0), 0.9)))
+    intended = int(round(rng.lognormal(np.log(median_chunks), sigma)))
     intended = max(1, intended)
     return min(intended, video.n_chunks)
 
@@ -84,10 +92,17 @@ class SessionGenerator:
     population: ClientPopulation
     seed: int = 0
     arrival_rate_per_s: float = 10.0
+    #: abandonment model: median / lognormal shape of the watch-chunk draw
+    watch_median_chunks: float = 5.0
+    watch_sigma_chunks: float = 0.9
 
     def __post_init__(self) -> None:
         if self.arrival_rate_per_s <= 0:
             raise ValueError("arrival_rate_per_s must be positive")
+        if self.watch_median_chunks <= 0:
+            raise ValueError("watch_median_chunks must be positive")
+        if self.watch_sigma_chunks < 0:
+            raise ValueError("watch_sigma_chunks must be non-negative")
 
     def generate(self, n_sessions: int, start_ms: float = 0.0) -> Iterator[SessionPlan]:
         """Yield *n_sessions* plans in arrival order."""
@@ -102,7 +117,9 @@ class SessionGenerator:
             rng = session_rng(self.seed, index)
             client = self.population.sample_client(rng)
             video = self.catalog[int(video_ids[index])]
-            watch = _sample_watch_chunks(rng, video)
+            watch = _sample_watch_chunks(
+                rng, video, self.watch_median_chunks, self.watch_sigma_chunks
+            )
             yield SessionPlan(
                 session_id=f"s{self.seed:04d}-{index:08d}",
                 session_index=index,

@@ -1,10 +1,14 @@
-"""Docs-sync lint: docs/OBSERVABILITY.md must mirror the code contract.
+"""Docs-sync lint: the curated docs must mirror the code contracts.
 
-Two guarantees, both directions:
+Three guarantees, all bidirectional:
 
 * every metric/span registered in ``repro.obs`` is documented in
   docs/OBSERVABILITY.md, and every name documented there is registered —
   the contract cannot drift silently in either direction;
+* every scenario-DSL grammar name (workload shapes, spec fields,
+  transform keywords — ``repro.sweep.spec``) is documented in
+  docs/SCENARIOS.md, and every name documented there exists in the
+  grammar;
 * every intra-repo markdown link in the curated docs resolves to a real
   file, so the cross-linked doc set (README → docs/* → DESIGN) never rots.
 
@@ -18,9 +22,19 @@ from pathlib import Path
 from typing import List, Set, Tuple
 
 from repro.obs import METRIC_SPECS, SPAN_SPECS, TRACE_EVENT_SPECS
+from repro.sweep import (
+    AXIS_FIELDS,
+    AXIS_VALUE_FIELDS,
+    PERIOD_FIELDS,
+    SCENARIO_FIELDS,
+    SWEEP_FIELDS,
+    TRANSFORM_KEYS,
+    WORKLOAD_SHAPES,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OBSERVABILITY_MD = REPO_ROOT / "docs" / "OBSERVABILITY.md"
+SCENARIOS_MD = REPO_ROOT / "docs" / "SCENARIOS.md"
 
 #: markdown files whose intra-repo links must resolve (curated docs; the
 #: generated reference dumps PAPERS.md / SNIPPETS.md are out of scope)
@@ -36,6 +50,7 @@ LINKED_DOCS = [
     "docs/PAPER_MAPPING.md",
     "docs/PARALLEL.md",
     "docs/PERFORMANCE.md",
+    "docs/SCENARIOS.md",
 ]
 
 #: a contract table row: the first cell is a backticked dotted name
@@ -117,6 +132,66 @@ class TestMetricsContractSync:
                 f"{name}: documented row does not state its unit "
                 f"{spec.unit!r}: {row!r}"
             )
+
+
+# scenario-DSL names may contain hyphens (shape and scenario names),
+# unlike the dotted metric names above
+_DSL_CONTRACT_ROW = re.compile(r"^\|\s*`([a-z][a-z0-9_.-]*)`\s*\|")
+
+
+def grammar_names() -> Set[str]:
+    """Every name the scenario-DSL grammar declares (repro.sweep.spec)."""
+    return (
+        set(WORKLOAD_SHAPES)
+        | set(SCENARIO_FIELDS)
+        | set(PERIOD_FIELDS)
+        | set(SWEEP_FIELDS)
+        | set(AXIS_FIELDS)
+        | set(AXIS_VALUE_FIELDS)
+        | set(TRANSFORM_KEYS)
+    )
+
+
+def scenario_documented_names() -> Set[str]:
+    """Names declared in SCENARIOS.md's grammar tables."""
+    names: Set[str] = set()
+    for line in SCENARIOS_MD.read_text(encoding="utf-8").splitlines():
+        match = _DSL_CONTRACT_ROW.match(line)
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+class TestScenarioGrammarSync:
+    def test_scenarios_doc_exists(self):
+        assert SCENARIOS_MD.is_file()
+
+    def test_every_grammar_name_is_documented(self):
+        missing = sorted(grammar_names() - scenario_documented_names())
+        assert not missing, (
+            "scenario-DSL names declared in repro.sweep.spec but "
+            f"undocumented in docs/SCENARIOS.md: {missing} — add a "
+            "grammar-table row for each"
+        )
+
+    def test_every_documented_name_is_in_the_grammar(self):
+        stale = sorted(scenario_documented_names() - grammar_names())
+        assert not stale, (
+            "names documented in docs/SCENARIOS.md but absent from the "
+            f"repro.sweep.spec grammar: {stale} — remove the row or add "
+            "the shape/field"
+        )
+
+    def test_grammar_is_nontrivial(self):
+        # guard against the lint trivially passing on an empty doc
+        assert len(scenario_documented_names()) >= 20
+
+    def test_canned_scenarios_documented(self):
+        from repro.sweep import CANNED_SCENARIOS
+
+        text = SCENARIOS_MD.read_text(encoding="utf-8")
+        for name in CANNED_SCENARIOS:
+            assert name in text, f"canned scenario {name!r} not mentioned"
 
 
 def _intra_repo_links(path: Path) -> List[Tuple[str, Path]]:
