@@ -70,6 +70,7 @@ def write_perf_record(
     n_chunks: int,
     label: str = "run",
     path: Optional[str] = None,
+    extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Append one timing record for *scenario* to ``BENCH_perf.json``.
 
@@ -96,6 +97,8 @@ def write_perf_record(
         "chunks_per_s": round(n_chunks / wall_s, 1),
         "spans": span_totals(),
     }
+    if extra:
+        record.update(extra)
     payload.setdefault(scenario, []).append(record)
     with open(target, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

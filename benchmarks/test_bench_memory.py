@@ -1,0 +1,116 @@
+"""Memory-smoke gate: streaming analyses over a spill under a heap budget.
+
+Not a paper artifact — the CI `memory-smoke` job runs exactly this bench
+on every push.  It generates a mid-size synthetic spill
+(`repro.telemetry.synth`, schema-valid columnar sessions straight to
+sorted on-disk runs), then streams the headline analyses over the lazy
+k-way merge with `tracemalloc` tracing, and fails if peak traced heap
+blows through the budget implied by docs/TELEMETRY.md's RSS model:
+write buffers + the per-kind read-side materialization budget +
+accumulator state — nothing that scales with total rows.
+
+The spill threshold is set low on purpose so the run has many sorted
+runs per kind: that is the regime where an unbounded reader (one full
+block per open run) would blow past the budget, which is precisely the
+regression this gate exists to catch.  Wall time and peak heap land in
+the ``BENCH_perf.json`` trajectory (uploaded as a CI artifact).
+
+The `large` tier — a million-session spill, the paper-scale regime the
+columnar core is built for — is stubbed here behind
+``REPRO_BENCH_LARGE=1``: too slow for per-push CI, same code path, run
+it manually before touching the spill reader or the streaming
+accumulators.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+
+import pytest
+
+from bench_util import write_perf_record
+from repro.core.streaming import (
+    LocalizationAccumulator,
+    QoeAccumulator,
+    consume,
+)
+from repro.telemetry.synth import synthesize_spill
+
+pytestmark = pytest.mark.bench
+
+N_SESSIONS = 50_000
+SEED = 7
+#: low threshold => many sorted runs per kind (the stress regime)
+THRESHOLD_ROWS = 32_768
+#: peak traced heap budget.  Measured ~150 MB on a 2025 dev box at this
+#: scale; the model says the peak is independent of session count, so a
+#: generous 2x headroom only trips on an actual O(rows) regression.
+PEAK_HEAP_BUDGET_MB = 320.0
+WALL_BUDGET_S = 600.0
+
+LARGE_N_SESSIONS = 1_000_000
+
+
+def _stream_analyses(dataset):
+    return consume(dataset, QoeAccumulator(), LocalizationAccumulator())
+
+
+def _run(tmp_path, n_sessions):
+    """Generate a spill, stream the analyses, return (peak bytes, wall s, qoe)."""
+    dataset = synthesize_spill(
+        tmp_path / "spill", n_sessions, seed=SEED, threshold_rows=THRESHOLD_ROWS
+    )
+    assert dataset.n_sessions == n_sessions
+    tracemalloc.start()
+    start = time.perf_counter()
+    qoe, localization = _stream_analyses(dataset)
+    wall_s = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert qoe["n_sessions"] == n_sessions
+    assert abs(sum(localization.values()) - 1.0) < 1e-9
+    return dataset, peak, wall_s
+
+
+def test_memory_smoke_under_heap_budget(tmp_path):
+    dataset, peak, wall_s = _run(tmp_path, N_SESSIONS)
+    peak_mb = peak / 1e6
+    record = write_perf_record(
+        "memory_smoke",
+        wall_s,
+        n_sessions=N_SESSIONS,
+        n_chunks=dataset.n_chunks,
+        extra={"peak_heap_mb": round(peak_mb, 1)},
+    )
+    print(f"\n  memory-smoke: {record['wall_s']}s wall (tracemalloc on), "
+          f"{peak_mb:.1f} MB peak heap, "
+          f"{record['sessions_per_s']} sessions/s")
+    assert peak_mb < PEAK_HEAP_BUDGET_MB, (
+        f"streaming pass peaked at {peak_mb:.1f} MB >= "
+        f"{PEAK_HEAP_BUDGET_MB} MB — read-side memory is scaling with row "
+        f"volume (docs/TELEMETRY.md, 'RSS budget model')"
+    )
+    assert wall_s < WALL_BUDGET_S
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_LARGE") != "1",
+    reason="large tier: set REPRO_BENCH_LARGE=1 (million-session spill, minutes)",
+)
+def test_memory_large_tier(tmp_path):
+    # The same gate at paper-order scale: 1 M sessions, ~22 M rows.  The
+    # budget does NOT grow with the 20x session count — that flatness is
+    # the whole contract.
+    dataset, peak, wall_s = _run(tmp_path, LARGE_N_SESSIONS)
+    peak_mb = peak / 1e6
+    write_perf_record(
+        "memory_large",
+        wall_s,
+        n_sessions=LARGE_N_SESSIONS,
+        n_chunks=dataset.n_chunks,
+        extra={"peak_heap_mb": round(peak_mb, 1)},
+    )
+    print(f"\n  memory-large: {wall_s:.1f}s wall, {peak_mb:.1f} MB peak heap")
+    assert peak_mb < PEAK_HEAP_BUDGET_MB

@@ -145,13 +145,21 @@ class RunResult:
 
         Multi-period runs persist each period into a ``<label>/``
         subdirectory (manifest at the top level).  Returns the directory.
+
+        Datasets are persisted in canonical record order (``sorted()``),
+        so the JSONL bytes are identical for any ``workers`` count and
+        either memory mode (docs/TELEMETRY.md) — sharded merges and
+        spilled datasets are already canonical; serial in-memory runs are
+        sorted here.
         """
         directory = Path(directory)
         if len(self.datasets) == 1:
-            save_dataset(self.datasets[0], directory)
+            save_dataset(self.datasets[0].sorted(), directory)
         else:
             for index, (dataset, label) in enumerate(zip(self.datasets, self.labels)):
-                save_dataset(dataset, directory / (label or f"period-{index}"))
+                save_dataset(
+                    dataset.sorted(), directory / (label or f"period-{index}")
+                )
         save_run_manifest(self.simulation, directory, wall_time_s=wall_time_s)
         return directory
 

@@ -58,6 +58,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget per shard attempt in seconds; a shard "
              "exceeding it is killed and retried once (default: none)",
     )
+    sim.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help="bounded-memory mode: spill telemetry to sorted columnar runs "
+             "under DIR instead of holding records in RAM; the persisted "
+             "dataset is byte-identical either way (see docs/TELEMETRY.md)",
+    )
+    sim.add_argument(
+        "--spill-threshold", type=int, default=262_144, metavar="ROWS",
+        help="rows buffered per record kind before a sorted run is flushed "
+             "(the RSS knob; default: 262144, ~80 MB of write buffer)",
+    )
     sim.add_argument("--out", required=True, help="output dataset directory")
     sim.add_argument(
         "--metrics-out", default=None, metavar="FILE",
@@ -235,6 +246,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         shard_timeout_s=args.shard_timeout,
         # tracing is an execution knob: it never changes the workload
         trace_sample=args.trace_sample if args.trace_out else 0.0,
+        # memory mode is an execution knob too (docs/TELEMETRY.md)
+        spill_dir=args.spill_dir,
+        spill_threshold_rows=args.spill_threshold,
     )
     mode = "serially" if args.workers <= 1 else f"on {args.workers} shard workers"
     injected = f", faults from {args.faults}" if args.faults else ""

@@ -18,6 +18,7 @@ from . import (
     qoe,
     rendering_diag,
     report,
+    streaming,
     whatif,
 )
 from .comparison import ComparisonReport, compare_datasets
@@ -43,6 +44,7 @@ __all__ = [
     "qoe",
     "rendering_diag",
     "report",
+    "streaming",
     "whatif",
     "filter_proxies",
     "ProxyFilterReport",

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..telemetry.dataset import Dataset
-from .localization import Bottleneck, diagnose_session
+from .localization import Bottleneck
 
 __all__ = [
     "EXPECTED_BOTTLENECK",
@@ -150,47 +150,10 @@ def score_fault_localization(dataset: Dataset) -> FaultScoreReport:
     Uses :func:`~repro.core.localization.diagnose_session` (so transient
     download-stack flags use within-session statistics, exactly as the
     operator-facing pipeline does), then joins each attribution with the
-    chunk's ground-truth labels.
+    chunk's ground-truth labels.  Streams one session at a time
+    (:class:`~repro.core.streaming.FaultScoreAccumulator`): report state
+    is O(fault classes), so spilled datasets score under a flat ceiling.
     """
-    report = FaultScoreReport()
-    for session in dataset.sessions():
-        diagnosis = diagnose_session(session)
-        for chunk, attribution in zip(session.chunks, diagnosis.attributions):
-            report.n_chunks += 1
-            if chunk.truth is None:
-                report.n_unscored += 1
-                continue
-            predicted = attribution.bottleneck
-            labels = parse_fault_labels(chunk.truth.fault_labels)
-            truth_classes = sorted({fault_class for fault_class, _ in labels})
-            if truth_classes:
-                report.n_labeled += 1
-            # confusion matrix: one row per truth class the chunk carries
-            # (or the "none" row for un-faulted chunks)
-            for category in truth_classes or ["none"]:
-                report.confusion.setdefault(category, Counter())[predicted.value] += 1
-            # the set of verdicts the chunk's faults are expected to surface as
-            expected_layers = {
-                verdict
-                for c in truth_classes
-                for verdict in EXPECTED_BOTTLENECK.get(c, ())
-            }
-            for fault_class in truth_classes:
-                expected = EXPECTED_BOTTLENECK.get(fault_class)
-                if expected is None:
-                    continue
-                score = report.classes.setdefault(
-                    fault_class,
-                    ClassScore(fault_class, tuple(v.value for v in expected)),
-                )
-                if predicted in expected:
-                    score.true_positives += 1
-                else:
-                    score.false_negatives += 1
-            # precision: a verdict naming a layer no active fault maps to is
-            # a false positive for every class expecting that layer
-            if predicted is not Bottleneck.NONE and predicted not in expected_layers:
-                for score in report.classes.values():
-                    if predicted.value in score.expected:
-                        score.false_positives += 1
-    return report
+    from .streaming import FaultScoreAccumulator, consume
+
+    return consume(dataset, FaultScoreAccumulator())[0]

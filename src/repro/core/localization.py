@@ -27,11 +27,9 @@ Attribution rules (applied in order, mirroring §4's decision logic):
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import Dict, List
 
 from ..telemetry.dataset import Dataset, JoinedChunk, SessionView
 from . import downstack, perfscore
@@ -190,15 +188,10 @@ def diagnose_dataset(dataset: Dataset) -> Dict[str, float]:
     """Fleet-level localization: share of chunks per bottleneck location.
 
     The operator's dashboard number: of all delivered chunks, how many had
-    a problem, and where did the problems live?
+    a problem, and where did the problems live?  Streams one session at a
+    time (:class:`~repro.core.streaming.LocalizationAccumulator`), so
+    spilled datasets diagnose under a flat memory ceiling.
     """
-    counts: Counter = Counter()
-    total = 0
-    for session in dataset.sessions():
-        diagnosis = diagnose_session(session)
-        for attribution in diagnosis.attributions:
-            counts[attribution.bottleneck] += 1
-            total += 1
-    if total == 0:
-        return {}
-    return {bottleneck.value: counts.get(bottleneck, 0) / total for bottleneck in Bottleneck}
+    from .streaming import LocalizationAccumulator, consume
+
+    return consume(dataset, LocalizationAccumulator())[0]

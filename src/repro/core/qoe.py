@@ -9,9 +9,7 @@ Figs. 4 and 7 (startup delay vs first-chunk server latency / SRTT).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.stats import BinnedStat, binned_stats
 from ..telemetry.dataset import Dataset, SessionView
@@ -61,7 +59,7 @@ def _first_chunk_relation(
     """Bin per-session startup delay by a first-chunk covariate."""
     xs: List[float] = []
     ys: List[float] = []
-    for session in dataset.sessions():
+    for session in dataset.iter_sessions():
         if not session.chunks or session.chunks[0].chunk_id != 0:
             continue
         startup = session.startup_delay_ms
@@ -105,18 +103,12 @@ def startup_vs_first_chunk_srtt(
 
 
 def summarize(dataset: Dataset) -> Dict[str, float]:
-    """Headline QoE numbers for a dataset (used by examples and reports)."""
-    qoes = [session_qoe(s) for s in dataset.sessions()]
-    if not qoes:
-        return {"n_sessions": 0}
-    startups = [q.startup_ms for q in qoes if q.startup_ms is not None]
-    return {
-        "n_sessions": len(qoes),
-        "median_startup_ms": float(np.median(startups)) if startups else float("nan"),
-        "p90_startup_ms": float(np.percentile(startups, 90)) if startups else float("nan"),
-        "rebuffer_session_fraction": float(np.mean([q.rebuffer_rate > 0 for q in qoes])),
-        "mean_rebuffer_rate_pct": float(np.mean([100.0 * q.rebuffer_rate for q in qoes])),
-        "median_bitrate_kbps": float(np.median([q.avg_bitrate_kbps for q in qoes])),
-        "mean_dropped_frame_pct": float(np.mean([q.dropped_frame_pct for q in qoes])),
-        "median_session_chunks": float(np.median([q.n_chunks for q in qoes])),
-    }
+    """Headline QoE numbers for a dataset (used by examples and reports).
+
+    Streams sessions one at a time (:class:`~repro.core.streaming.QoeAccumulator`),
+    keeping one scalar per session per metric — the spilled-dataset path
+    never materializes the fleet (docs/TELEMETRY.md).
+    """
+    from .streaming import QoeAccumulator, consume
+
+    return consume(dataset, QoeAccumulator())[0]

@@ -47,7 +47,14 @@ __all__ = [
 #: from the workload identity hash so serial, sharded, and traced runs of
 #: one workload share a config_hash.
 EXECUTION_FIELDS = frozenset(
-    {"workers", "shard_timeout_s", "shard_by", "trace_sample"}
+    {
+        "workers",
+        "shard_timeout_s",
+        "shard_by",
+        "trace_sample",
+        "spill_dir",
+        "spill_threshold_rows",
+    }
 )
 
 MANIFEST_SCHEMA = "repro.obs/1"
@@ -103,6 +110,13 @@ def run_manifest(
         "n_shards": len(shards) or 1,
         "shard_reports": shards,
         "spans": result.metrics.spans_snapshot() if result.metrics is not None else [],
+        # memory mode + spill accounting (docs/TELEMETRY.md): execution-
+        # scoped metrics live here, not in the byte-stable metrics document
+        "spill_dir": config.spill_dir,
+        "spill_threshold_rows": config.spill_threshold_rows,
+        "metrics": (
+            result.metrics.execution_snapshot() if result.metrics is not None else {}
+        ),
     }
     if wall_time_s is not None:
         manifest["execution"]["wall_time_s"] = wall_time_s

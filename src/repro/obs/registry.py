@@ -69,6 +69,18 @@ class MetricSpec:
     fleet-wide scalars: cardinality 1 by design — per-server labels
     would explode the contract and add nothing the ShardReport/server
     objects don't already expose).
+
+    ``scope`` separates the two determinism regimes (docs/TELEMETRY.md):
+
+    * ``"workload"`` (default) — a pure function of the seeded workload,
+      identical for any worker count or memory mode; serialized into the
+      byte-stable metrics document by :meth:`MetricsRegistry.snapshot`;
+    * ``"execution"`` — describes *how* the run was computed (spill runs
+      flushed, bytes written...), legitimately different between an
+      in-memory and a spilled run of the same workload.  Excluded from
+      the metrics document; surfaced via
+      :meth:`MetricsRegistry.execution_snapshot` in the run manifest's
+      execution block, which is not byte-stable by design.
     """
 
     name: str
@@ -78,6 +90,7 @@ class MetricSpec:
     paper_ref: str
     cardinality: int = 1
     buckets: Optional[Tuple[float, ...]] = None  # histograms only
+    scope: str = "workload"  # "workload" | "execution"
 
 
 def _specs(entries: Iterable[MetricSpec]) -> Dict[str, MetricSpec]:
@@ -237,6 +250,26 @@ METRIC_SPECS: Dict[str, MetricSpec] = _specs(
             "Sweep cells whose scenario resolution or simulation raised "
             "(recorded in the aggregate report's failed map).", "—",
         ),
+        # -- telemetry spill (docs/TELEMETRY.md) ----------------------------
+        # Execution scope: spill activity depends on the memory mode and
+        # threshold, never on the workload, so these counters live in the
+        # run manifest's execution block — not the byte-stable metrics
+        # document (see MetricSpec.scope).
+        MetricSpec(
+            "telemetry.spill.runs_total", "counter", "runs",
+            "Sorted columnar runs flushed to disk by telemetry spill "
+            "writers (all record kinds).", "—", scope="execution",
+        ),
+        MetricSpec(
+            "telemetry.spill.rows_total", "counter", "records",
+            "Telemetry records written into spill runs.", "—",
+            scope="execution",
+        ),
+        MetricSpec(
+            "telemetry.spill.bytes_total", "counter", "bytes",
+            "Bytes of columnar run files written by telemetry spill "
+            "writers.", "—", scope="execution",
+        ),
     ]
 )
 
@@ -351,13 +384,20 @@ class MetricsRegistry:
 
     # -- serialization -------------------------------------------------------
 
-    def snapshot(self) -> Dict[str, Any]:
-        """Deterministic plain-dict view of every contract metric."""
+    def snapshot(self, scope: str = "workload") -> Dict[str, Any]:
+        """Deterministic plain-dict view of every contract metric of *scope*.
+
+        The default (``"workload"``) is the byte-stable metrics-document
+        payload; execution-scoped metrics (spill accounting) are fetched
+        separately via :meth:`execution_snapshot` and never enter it.
+        """
         counters: Dict[str, int] = {}
         gauges: Dict[str, float] = {}
         histograms: Dict[str, Dict[str, Any]] = {}
         for name in sorted(METRIC_SPECS):
             spec = METRIC_SPECS[name]
+            if spec.scope != scope:
+                continue
             if spec.kind == "counter":
                 handle = self._counters.get(name)
                 counters[name] = handle.value if handle else 0
@@ -373,6 +413,10 @@ class MetricsRegistry:
                     "count": hist.count if hist else 0,
                 }
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def execution_snapshot(self) -> Dict[str, Any]:
+        """The execution-scoped metrics (run-manifest material, not byte-stable)."""
+        return self.snapshot(scope="execution")
 
     def spans_snapshot(self) -> List[Dict[str, Any]]:
         return self.tracer.snapshot()

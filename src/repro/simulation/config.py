@@ -103,6 +103,18 @@ class SimulationConfig:
     #: None`` check per chunk.  Observational, like the knobs above: the
     #: simulated workload and its telemetry are unchanged.
     trace_sample: float = 0.0
+    #: telemetry memory mode (docs/TELEMETRY.md): None keeps records as
+    #: in-memory Python objects (the classic Dataset); a directory path
+    #: spills sorted columnar runs there and the run yields a
+    #: bounded-memory SpilledDataset over identical records.  Sharded
+    #: runs spill each worker into ``<spill_dir>/shard-<k>``.  Execution
+    #: knob: the telemetry records themselves are byte-identical either
+    #: way.
+    spill_dir: Optional[str] = None
+    #: rows buffered per record kind before the spill writer flushes one
+    #: sorted run (the RSS-bound knob — see the budget model in
+    #: docs/TELEMETRY.md)
+    spill_threshold_rows: int = 262_144
 
     def __post_init__(self) -> None:
         if self.n_sessions <= 0:
@@ -125,6 +137,8 @@ class SimulationConfig:
             raise ValueError("watch_sigma_chunks must be non-negative")
         if not 0.0 <= self.trace_sample <= 1.0:
             raise ValueError("trace_sample must be within [0, 1]")
+        if self.spill_threshold_rows <= 0:
+            raise ValueError("spill_threshold_rows must be positive")
         # Stringly-typed knobs are validated against their registries here,
         # so a typo fails at construction with the valid values listed —
         # not hundreds of sessions into the run.

@@ -10,6 +10,7 @@ joined production beacons/logs would have — which the analysis pipeline in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..cdn.mapping import TrafficEngineering
@@ -175,6 +176,28 @@ class Simulator:
         if config.warm_first_chunks:
             self._warm_first_chunks()
 
+    def _spill_dir(self) -> Optional[Path]:
+        """This executor's spill directory (None = in-memory telemetry).
+
+        Shard workers spill into a per-shard subdirectory; the parent's
+        lazy merge iterates them in shard order (docs/TELEMETRY.md).
+        """
+        if self.config.spill_dir is None:
+            return None
+        base = Path(self.config.spill_dir)
+        if self.shard is not None:
+            return base / f"shard-{self.shard.index:02d}"
+        return base
+
+    def _measured_collector(self) -> TelemetryCollector:
+        """The measured period's collector, honouring the memory mode."""
+        return TelemetryCollector(
+            record_ground_truth=self.config.record_ground_truth,
+            spill_dir=self._spill_dir(),
+            spill_threshold_rows=self.config.spill_threshold_rows,
+            metrics=self.metrics,
+        )
+
     def _warm_first_chunks(self) -> None:
         """§4.1-2 extension: cache chunk 0 of every title at startup bitrates.
 
@@ -214,7 +237,10 @@ class Simulator:
         # period; align on the fleet-wide clock before warming up.
         self._sync_clock()
         if config.warmup_sessions > 0 and not self._warmed:
-            discard = TelemetryCollector(record_ground_truth=False)
+            # warmup telemetry was always discarded after the period; the
+            # discarding collector drops it on arrival so warmup RAM stays
+            # flat at any scale (docs/TELEMETRY.md)
+            discard = TelemetryCollector(record_ground_truth=False, discard=True)
             with self.metrics.span("driver.warmup"):
                 self._clock_ms = self._run_period(
                     n_sessions=config.warmup_sessions,
@@ -227,7 +253,7 @@ class Simulator:
         # Barrier 2: the measured period starts when the *fleet's* warmup
         # ends (the serial run's loop end), not when this shard's does.
         self._sync_clock()
-        collector = TelemetryCollector(record_ground_truth=config.record_ground_truth)
+        collector = self._measured_collector()
         with self.metrics.span("driver.period"):
             self._clock_ms = self._run_period(
                 n_sessions=n_sessions,
@@ -270,7 +296,7 @@ class Simulator:
             sessions_per_day if sessions_per_day is not None else config.n_sessions
         )
         if config.warmup_sessions > 0 and not self._warmed:
-            discard = TelemetryCollector(record_ground_truth=False)
+            discard = TelemetryCollector(record_ground_truth=False, discard=True)
             with self.metrics.span("driver.warmup"):
                 self._run_period(
                     n_sessions=config.warmup_sessions,
@@ -280,7 +306,7 @@ class Simulator:
                     trace=None,  # warmup is never traced
                 )
             self._warmed = True
-        collector = TelemetryCollector(record_ground_truth=config.record_ground_truth)
+        collector = self._measured_collector()
         for day in range(n_days):
             day_start = max(self._clock_ms, day * day_length_ms)
             with self.metrics.span("driver.period"):

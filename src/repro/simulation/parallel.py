@@ -43,11 +43,13 @@ import importlib
 import itertools
 import multiprocessing as mp
 import os
+import shutil
 import time
 import traceback
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing import connection as mp_connection
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..cdn.server import CdnServer
@@ -55,6 +57,7 @@ from ..obs import publish_last_run
 from ..obs.registry import MetricsRegistry
 from ..obs.trace import TraceRecorder
 from ..telemetry.dataset import Dataset
+from ..telemetry.spill import SpilledDataset
 from .config import SimulationConfig
 from .driver import SimulationResult, Simulator, World, build_world
 from .shard import SHARD_MODES, ShardSpec
@@ -127,6 +130,19 @@ class PeriodSpec:
     carry_fleet: bool = True
 
 
+def _reject_multi_period_spill(periods: Sequence[PeriodSpec]) -> None:
+    """Multi-period spill is not wired: each period finalizes its collector,
+    so a shared ``spill_dir`` would make period 2's writer refuse the
+    directory period 1 just sealed.  Checked in the parent (before any
+    worker launches) and again in :func:`execute_periods` for direct users.
+    """
+    if len(periods) > 1 and any(spec.config.spill_dir is not None for spec in periods):
+        raise ValueError(
+            "spill_dir is not supported for multi-period runs; run each "
+            "period separately with its own spill directory"
+        )
+
+
 def _resolve_mutation(ref: str):
     module_name, _, attr = ref.partition(":")
     if not module_name or not attr:
@@ -153,6 +169,7 @@ def execute_periods(
     """
     if not periods:
         raise ValueError("periods must be non-empty")
+    _reject_multi_period_spill(periods)
     if metrics is None:
         metrics = MetricsRegistry()
     # One trace recorder for the whole multi-period run, so config-change
@@ -226,6 +243,16 @@ def _shard_worker_main(task: _ShardTask, conn) -> None:
     """Worker entry point: execute one shard and ship the results back."""
     if task.attempt < task.fail_attempts:
         os._exit(23)  # injected crash (tests): die before producing anything
+    if task.attempt > 0:
+        # A retried shard replays the same deterministic workload; clear any
+        # partial (or even sealed-but-unshipped) spill left by the previous
+        # attempt so the fresh writer does not refuse the directory.
+        for spec in task.periods:
+            if spec.config.spill_dir is not None:
+                shutil.rmtree(
+                    Path(spec.config.spill_dir) / f"shard-{task.shard.index:02d}",
+                    ignore_errors=True,
+                )
     try:
         started = time.perf_counter()
         registry = MetricsRegistry()
@@ -249,6 +276,10 @@ def _shard_worker_main(task: _ShardTask, conn) -> None:
                 "peak_rss_bytes": _peak_rss_bytes(),
                 "pid": os.getpid(),
                 "metrics": registry.snapshot(),
+                # execution-scoped metrics (spill accounting) travel
+                # separately: they are run-manifest material and must never
+                # leak into the byte-stable workload snapshot
+                "execution_metrics": registry.execution_snapshot(),
                 "span_totals": tuple(registry.tracer.totals()),
                 # pre-sorted like the datasets: the parent k-way merges
                 "trace": (
@@ -376,6 +407,7 @@ class ParallelSimulator:
         """
         if not periods:
             raise ValueError("periods must be non-empty")
+        _reject_multi_period_spill(periods)
         world = build_world(periods[0].config)
         datasets, servers, reports, registry = self._run_sharded(tuple(periods), world)
         self.metrics = registry
@@ -409,17 +441,14 @@ class ParallelSimulator:
         registry = MetricsRegistry()
         with registry.span("parallel.merge"):
             merged = [
-                Dataset.merge_all(
-                    (outputs[index]["datasets"][p] for index in sorted(outputs)),
-                    canonicalize=True,
-                    # workers ship canonically sorted datasets; the k-way
-                    # merge of sorted shard slices IS the canonical order
-                    assume_sorted=True,
+                self._merge_period_datasets(
+                    [outputs[index]["datasets"][p] for index in sorted(outputs)]
                 )
                 for p in range(len(periods))
             ]
             for index in sorted(outputs):
                 registry.merge_snapshot(outputs[index]["metrics"])
+                registry.merge_snapshot(outputs[index].get("execution_metrics", {}))
             # Trace merge: like the datasets, each shard ships canonically
             # pre-sorted events; a k-way merge in sorted shard order IS the
             # canonical (session, chunk, seq) order, so the export equals
@@ -439,6 +468,21 @@ class ParallelSimulator:
                 key = server_id if self.shard_by == "server" else f"{server_id}@s{index}"
                 servers[key] = server
         return merged, servers, [reports[index] for index in sorted(reports)], registry
+
+    @staticmethod
+    def _merge_period_datasets(shards: List[Any]):
+        """Merge one period's shard datasets, honouring the memory mode.
+
+        In-memory shards k-way merge record lists (workers pre-sorted
+        them); spilled shards merge *lazily* — the combined facade simply
+        iterates every shard's runs in sorted shard order, which under
+        ``server`` sharding (disjoint session-id ranges per shard) is the
+        same canonical order ``Dataset.merge_all`` would produce, without
+        reading a single row in the parent (docs/TELEMETRY.md).
+        """
+        if shards and isinstance(shards[0], SpilledDataset):
+            return SpilledDataset.merge_all(shards)
+        return Dataset.merge_all(shards, canonicalize=True, assume_sorted=True)
 
     def _launch(
         self, index: int, attempt: int, periods: Tuple[PeriodSpec, ...], world: World

@@ -1,9 +1,18 @@
-"""Instrumentation records, dataset container, and persistence."""
+"""Instrumentation records, dataset container, and persistence.
+
+Two storage regimes behind one record facade (docs/TELEMETRY.md):
+in-memory lists of record objects (:class:`Dataset`) and bounded-memory
+columnar spills (:class:`SpilledDataset`), joined by the same streaming
+merge-join (:func:`iter_joined_sessions`).
+"""
 
 from .beacons import export_beacons_csv, import_beacons_csv
 from .collector import TelemetryCollector
-from .dataset import Dataset, JoinedChunk, SessionView
+from .columnar import COLUMN_SCHEMAS, ColumnOverflowError
+from .dataset import Dataset, JoinedChunk, SessionView, iter_joined_sessions
 from .io import load_dataset, save_dataset
+from .spill import SpillError, SpilledDataset, SpillWriter
+from .synth import synthesize_sharded, synthesize_spill
 from .records import (
     CdnChunkRecord,
     CdnSessionRecord,
@@ -18,6 +27,14 @@ __all__ = [
     "Dataset",
     "JoinedChunk",
     "SessionView",
+    "iter_joined_sessions",
+    "COLUMN_SCHEMAS",
+    "ColumnOverflowError",
+    "SpillWriter",
+    "SpilledDataset",
+    "SpillError",
+    "synthesize_spill",
+    "synthesize_sharded",
     "load_dataset",
     "save_dataset",
     "export_beacons_csv",

@@ -6,12 +6,29 @@ collector models the post-ingestion state).  It also implements the §2.1
 sampling discipline for ``tcp_info``: snapshots arrive on a 500 ms grid
 during transfers, and the collector guarantees at least one snapshot per
 chunk by accepting a forced end-of-chunk sample.
+
+Memory modes (docs/TELEMETRY.md):
+
+* **in-memory** (default) — records accumulate as Python objects and
+  :meth:`dataset` freezes them into a :class:`Dataset`, exactly the
+  historical behavior;
+* **spill** (``spill_dir`` set) — records stream into a
+  :class:`~repro.telemetry.spill.SpillWriter`, which flushes sorted
+  columnar runs to disk every ``spill_threshold_rows`` rows, and
+  :meth:`dataset` returns the bounded-memory
+  :class:`~repro.telemetry.spill.SpilledDataset` facade instead.  The
+  records are identical either way; only their residence differs.
+
+``discard=True`` drops every record on arrival — the warmup period's
+collector, whose telemetry was always thrown away after the fact, now
+never holds it at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from pathlib import Path
+from typing import Any, List, Optional, Union
 
 from .dataset import Dataset
 from .records import (
@@ -22,6 +39,7 @@ from .records import (
     PlayerSessionRecord,
     TcpInfoRecord,
 )
+from .spill import DEFAULT_SPILL_THRESHOLD_ROWS, SpilledDataset, SpillWriter
 
 __all__ = ["TelemetryCollector"]
 
@@ -38,28 +56,81 @@ class TelemetryCollector:
     _truth: List[ChunkGroundTruth] = field(default_factory=list)
     #: when False, ground truth is not recorded (blind dataset)
     record_ground_truth: bool = True
+    #: spill mode: directory for sorted columnar runs (None = in-memory)
+    spill_dir: Optional[Union[str, Path]] = None
+    #: rows buffered per record kind before a sorted run is flushed
+    spill_threshold_rows: int = DEFAULT_SPILL_THRESHOLD_ROWS
+    #: drop every record on arrival (warmup periods: telemetry is never read)
+    discard: bool = False
+    #: optional MetricsRegistry for the telemetry.* execution counters
+    metrics: Optional[Any] = None
+
+    def __post_init__(self) -> None:
+        self._writer: Optional[SpillWriter] = None
+        if self.spill_dir is not None and not self.discard:
+            self._writer = SpillWriter(
+                self.spill_dir,
+                threshold_rows=self.spill_threshold_rows,
+                metrics=self.metrics,
+            )
 
     def add_player_chunk(self, record: PlayerChunkRecord) -> None:
-        self._player_chunks.append(record)
+        if self.discard:
+            return
+        if self._writer is not None:
+            self._writer.add("player_chunks", record)
+        else:
+            self._player_chunks.append(record)
 
     def add_cdn_chunk(self, record: CdnChunkRecord) -> None:
-        self._cdn_chunks.append(record)
+        if self.discard:
+            return
+        if self._writer is not None:
+            self._writer.add("cdn_chunks", record)
+        else:
+            self._cdn_chunks.append(record)
 
     def add_tcp_snapshot(self, record: TcpInfoRecord) -> None:
-        self._tcp.append(record)
+        if self.discard:
+            return
+        if self._writer is not None:
+            self._writer.add("tcp_snapshots", record)
+        else:
+            self._tcp.append(record)
 
     def add_player_session(self, record: PlayerSessionRecord) -> None:
-        self._player_sessions.append(record)
+        if self.discard:
+            return
+        if self._writer is not None:
+            self._writer.add("player_sessions", record)
+        else:
+            self._player_sessions.append(record)
 
     def add_cdn_session(self, record: CdnSessionRecord) -> None:
-        self._cdn_sessions.append(record)
+        if self.discard:
+            return
+        if self._writer is not None:
+            self._writer.add("cdn_sessions", record)
+        else:
+            self._cdn_sessions.append(record)
 
     def add_ground_truth(self, record: ChunkGroundTruth) -> None:
-        if self.record_ground_truth:
+        if self.discard or not self.record_ground_truth:
+            return
+        if self._writer is not None:
+            self._writer.add("ground_truth", record)
+        else:
             self._truth.append(record)
 
-    def dataset(self) -> Dataset:
-        """Freeze the collected records into a :class:`Dataset`."""
+    def dataset(self) -> Union[Dataset, SpilledDataset]:
+        """Freeze the collected records into a dataset.
+
+        In-memory mode returns a :class:`Dataset`; spill mode finalizes
+        the writer (flushing tails + the versioned manifest) and returns
+        the :class:`SpilledDataset` facade over the same records.
+        """
+        if self._writer is not None:
+            return self._writer.finalize()
         return Dataset(
             player_chunks=list(self._player_chunks),
             cdn_chunks=list(self._cdn_chunks),

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from itertools import groupby
+from operator import attrgetter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .records import (
     CdnChunkRecord,
@@ -22,7 +24,7 @@ from .records import (
     TcpInfoRecord,
 )
 
-__all__ = ["JoinedChunk", "SessionView", "Dataset"]
+__all__ = ["JoinedChunk", "SessionView", "Dataset", "iter_joined_sessions"]
 
 
 @dataclass(frozen=True)
@@ -144,6 +146,94 @@ class SessionView:
         return result
 
 
+class _GroupCursor:
+    """Step through a session-id-sorted record stream, one sid group at a time.
+
+    ``take(sid)`` discards groups below *sid* and returns the group equal
+    to it (or ``[]``).  Callers request sids in ascending order, so the
+    whole pass is O(N) and at most one session's records are live.
+    """
+
+    __slots__ = ("_groups", "_sid", "_group")
+
+    def __init__(self, records: Iterable) -> None:
+        self._groups = groupby(records, key=attrgetter("session_id"))
+        self._advance()
+
+    def _advance(self) -> None:
+        self._sid, self._group = next(self._groups, (None, None))
+
+    def take(self, sid: str) -> list:
+        while self._sid is not None and self._sid < sid:
+            self._advance()
+        if self._sid == sid:
+            records = list(self._group)
+            self._advance()
+            return records
+        return []
+
+
+def iter_joined_sessions(
+    player_sessions: Iterable[PlayerSessionRecord],
+    cdn_sessions: Iterable[CdnSessionRecord],
+    player_chunks: Iterable[PlayerChunkRecord],
+    cdn_chunks: Iterable[CdnChunkRecord],
+    tcp_snapshots: Iterable[TcpInfoRecord],
+    ground_truth: Iterable[ChunkGroundTruth],
+) -> Iterator[SessionView]:
+    """Streaming merge-join: canonical-ordered record streams → session views.
+
+    Produces exactly what :meth:`Dataset.sessions` produces — same views,
+    same order, same duplicate-key semantics — but one session at a time,
+    so joining a spilled million-session run never materializes more than
+    one session's records.  Inputs **must** be in canonical order (the
+    :meth:`Dataset.sorted` keys); equal-key semantics then coincide with
+    the dict-index join: dict insertion last-wins over emission order
+    equals last-wins over a stable canonical sort.
+    """
+    cdn_session_groups = _GroupCursor(cdn_sessions)
+    player_chunk_groups = _GroupCursor(player_chunks)
+    cdn_chunk_groups = _GroupCursor(cdn_chunks)
+    tcp_groups = _GroupCursor(tcp_snapshots)
+    truth_groups = _GroupCursor(ground_truth)
+    for sid, player_group in groupby(player_sessions, key=attrgetter("session_id")):
+        players = list(player_group)
+        cdns = cdn_session_groups.take(sid)
+        if not cdns:
+            continue
+        view = SessionView(
+            session_id=sid, player_session=players[-1], cdn_session=cdns[-1]
+        )
+        cdn_index: Dict[Tuple[str, int], CdnChunkRecord] = {
+            (r.session_id, r.chunk_id): r for r in cdn_chunk_groups.take(sid)
+        }
+        truth_index: Dict[Tuple[str, int], ChunkGroundTruth] = {
+            (r.session_id, r.chunk_id): r for r in truth_groups.take(sid)
+        }
+        tcp_index: Dict[Tuple[str, int], List[TcpInfoRecord]] = {}
+        for snapshot in tcp_groups.take(sid):
+            tcp_index.setdefault((snapshot.session_id, snapshot.chunk_id), []).append(
+                snapshot
+            )
+        for snapshots in tcp_index.values():
+            snapshots.sort(key=lambda s: s.t_ms)
+        for player in player_chunk_groups.take(sid):
+            key = (player.session_id, player.chunk_id)
+            cdn = cdn_index.get(key)
+            if cdn is None:
+                continue
+            view.chunks.append(
+                JoinedChunk(
+                    player=player,
+                    cdn=cdn,
+                    tcp=tuple(tcp_index.get(key, ())),
+                    truth=truth_index.get(key),
+                )
+            )
+        view.chunks.sort(key=lambda c: c.chunk_id)
+        yield view
+
+
 @dataclass
 class Dataset:
     """All telemetry from one simulated collection period."""
@@ -221,6 +311,25 @@ class Dataset:
         for view in views.values():
             view.chunks.sort(key=lambda c: c.chunk_id)
         return [views[sid] for sid in sorted(views)]
+
+    def iter_sessions(self) -> Iterator[SessionView]:
+        """Streaming equivalent of :meth:`sessions` (same views, same order).
+
+        The uniform iteration surface shared with
+        :class:`~repro.telemetry.spill.SpilledDataset`: analyses that loop
+        over ``dataset.iter_sessions()`` run identically on in-memory and
+        spilled telemetry, holding one session at a time instead of the
+        full view list.
+        """
+        ordered = self.sorted()
+        return iter_joined_sessions(
+            ordered.player_sessions,
+            ordered.cdn_sessions,
+            ordered.player_chunks,
+            ordered.cdn_chunks,
+            ordered.tcp_snapshots,
+            ordered.ground_truth,
+        )
 
     # -- filtering / combining -------------------------------------------------
 

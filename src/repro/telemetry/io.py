@@ -9,7 +9,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import List, Type, TypeVar, Union
+from typing import TYPE_CHECKING, Iterable, List, Type, TypeVar, Union
 
 from .dataset import Dataset
 from .records import (
@@ -20,6 +20,9 @@ from .records import (
     PlayerSessionRecord,
     TcpInfoRecord,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .spill import SpilledDataset
 
 __all__ = ["save_dataset", "load_dataset"]
 
@@ -35,7 +38,9 @@ _FILES = {
 T = TypeVar("T")
 
 
-def _write_jsonl(path: Path, records: List[object]) -> None:
+def _write_jsonl(path: Path, records: Iterable[object]) -> None:
+    # Iterable, not List: a SpilledDataset's per-kind streams write through
+    # here one record at a time without ever materializing the kind.
     with path.open("w", encoding="utf-8") as handle:
         for record in records:
             handle.write(json.dumps(dataclasses.asdict(record)) + "\n")
@@ -64,8 +69,17 @@ def _read_jsonl(path: Path, record_type: Type[T]) -> List[T]:
     return records
 
 
-def save_dataset(dataset: Dataset, directory: Union[str, Path]) -> Path:
-    """Write *dataset* under *directory* (created if needed); returns the path."""
+def save_dataset(
+    dataset: Union[Dataset, "SpilledDataset"], directory: Union[str, Path]
+) -> Path:
+    """Write *dataset* under *directory* (created if needed); returns the path.
+
+    Accepts either memory mode: an in-memory :class:`Dataset` or a
+    :class:`~repro.telemetry.spill.SpilledDataset`, whose per-kind record
+    streams serialize to the identical JSON-lines bytes (the facade
+    yields records in canonical order; callers wanting byte-stable output
+    across memory modes should pass ``dataset.sorted()`` as before).
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     for attribute, (filename, _) in _FILES.items():

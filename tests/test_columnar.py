@@ -1,0 +1,309 @@
+"""Columnar telemetry core: round-trips, spills, and the memory-mode contract.
+
+The contract under test (docs/TELEMETRY.md): telemetry records are
+byte-identical whichever memory mode produced them — in-memory lists,
+serial spill, or sharded spill — and a corrupt or incompatible spill fails
+loudly at open time, never silently mid-analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api import run
+from repro.obs.manifest import dump_json
+from repro.simulation.config import SimulationConfig
+from repro.simulation.parallel import PeriodSpec, execute_periods
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.columnar import (
+    COLUMN_SCHEMAS,
+    SPILL_KINDS,
+    ColumnOverflowError,
+    array_to_records,
+    iter_records,
+    records_to_array,
+    sort_array,
+)
+from repro.telemetry.dataset import Dataset
+from repro.telemetry.io import save_dataset
+from repro.telemetry.records import PlayerSessionRecord
+from repro.telemetry.spill import (
+    SPILL_MANIFEST_FILENAME,
+    SpilledDataset,
+    SpillError,
+    SpillWriter,
+)
+from repro.telemetry.synth import synthesize_sharded, synthesize_spill
+
+
+def _config(**overrides) -> SimulationConfig:
+    defaults = dict(n_sessions=80, warmup_sessions=30, seed=13)
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def reference_dataset():
+    """One small simulated dataset, in-memory, canonically sorted."""
+    return run(_config()).dataset.sorted()
+
+
+def _kind_records(dataset, kind):
+    return list(getattr(dataset, kind))
+
+
+class TestColumnarRoundTrip:
+    @pytest.mark.parametrize("kind", SPILL_KINDS)
+    def test_exact_round_trip(self, reference_dataset, kind):
+        records = _kind_records(reference_dataset, kind)
+        assert records, f"reference run produced no {kind}"
+        array = records_to_array(kind, records)
+        assert array.dtype == COLUMN_SCHEMAS[kind].dtype
+        assert array_to_records(kind, array) == records
+
+    def test_round_trip_json_bytes_identical(self, reference_dataset):
+        # the facade contract at its strictest: JSON serialization of a
+        # round-tripped record equals the original byte for byte
+        import dataclasses
+
+        records = _kind_records(reference_dataset, "player_chunks")
+        rebuilt = array_to_records("player_chunks", records_to_array("player_chunks", records))
+        for a, b in zip(records, rebuilt):
+            assert json.dumps(dataclasses.asdict(a)) == json.dumps(dataclasses.asdict(b))
+
+    def test_sort_array_matches_dataset_sorted(self, reference_dataset):
+        for kind in SPILL_KINDS:
+            records = _kind_records(reference_dataset, kind)
+            shuffled = list(reversed(records))
+            resorted = array_to_records(kind, sort_array(kind, records_to_array(kind, shuffled)))
+            assert [(r.session_id) for r in resorted] == [(r.session_id) for r in records]
+
+    def test_string_overflow_raises_not_truncates(self):
+        record = PlayerSessionRecord(
+            session_id="x" * 25,  # column is S24
+            client_ip="10.0.0.1",
+            user_agent="ua",
+            video_id=1,
+            video_duration_ms=1.0,
+            start_ms=0.0,
+            os="linux",
+            browser="b",
+        )
+        with pytest.raises(ColumnOverflowError, match="session_id"):
+            records_to_array("player_sessions", [record])
+
+    def test_iter_records_is_blockwise_lazy(self):
+        # consuming one record must not require materializing the array
+        array = records_to_array(
+            "player_sessions",
+            [
+                PlayerSessionRecord(f"s{i:04d}", "ip", "ua", i, 1.0, 0.0, "os", "b")
+                for i in range(10)
+            ],
+        )
+        stream = iter_records("player_sessions", array)
+        first = next(stream)
+        assert first.session_id == "s0000"
+
+
+class TestSpillWriterReader:
+    def test_multi_run_spill_equals_canonical_order(self, reference_dataset, tmp_path):
+        writer = SpillWriter(tmp_path / "s", threshold_rows=64)
+        # feed records in emission order (the unsorted collector stream)
+        raw = run(_config()).dataset
+        for kind in SPILL_KINDS:
+            for record in _kind_records(raw, kind):
+                writer.add(kind, record)
+        spilled = writer.finalize()
+        manifest = json.loads((tmp_path / "s" / SPILL_MANIFEST_FILENAME).read_text())
+        assert manifest["kinds"]["player_chunks"]["rows"] > 64  # several runs
+        for kind in SPILL_KINDS:
+            assert list(spilled.iter_kind(kind)) == _kind_records(reference_dataset, kind)
+
+    def test_writer_refuses_existing_spill(self, tmp_path):
+        SpillWriter(tmp_path / "s").finalize()
+        with pytest.raises(SpillError, match="already holds a spill"):
+            SpillWriter(tmp_path / "s")
+
+    def test_finalize_is_idempotent(self, tmp_path):
+        writer = SpillWriter(tmp_path / "s")
+        assert writer.finalize() is writer.finalize()
+
+    def test_add_array_rejects_wrong_dtype(self, tmp_path):
+        writer = SpillWriter(tmp_path / "s")
+        with pytest.raises(SpillError, match="does not match"):
+            writer.add_array("player_chunks", np.zeros(3, dtype="f8"))
+
+    def test_pickle_round_trip(self, tmp_path):
+        spilled = synthesize_spill(tmp_path / "s", 100, seed=1, threshold_rows=128)
+        clone = pickle.loads(pickle.dumps(spilled))
+        assert list(clone.player_sessions) == list(spilled.player_sessions)
+
+
+class TestSpillCorruptionRejection:
+    def _spill(self, tmp_path):
+        synthesize_spill(tmp_path / "s", 300, seed=2, threshold_rows=256)
+        return tmp_path / "s"
+
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(SpillError, match="no spill.json"):
+            SpilledDataset(tmp_path / "empty")
+
+    def test_corrupt_manifest_json(self, tmp_path):
+        directory = self._spill(tmp_path)
+        (directory / SPILL_MANIFEST_FILENAME).write_text("{not json")
+        with pytest.raises(SpillError, match="corrupt spill manifest"):
+            SpilledDataset(directory)
+
+    def test_unknown_format_version(self, tmp_path):
+        directory = self._spill(tmp_path)
+        manifest = json.loads((directory / SPILL_MANIFEST_FILENAME).read_text())
+        manifest["version"] = 999
+        (directory / SPILL_MANIFEST_FILENAME).write_text(json.dumps(manifest))
+        with pytest.raises(SpillError, match="version 999"):
+            SpilledDataset(directory)
+
+    def test_truncated_run_file(self, tmp_path):
+        directory = self._spill(tmp_path)
+        run_file = next(directory.glob("player_chunks-*.npy"))
+        payload = run_file.read_bytes()
+        run_file.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(SpillError):
+            SpilledDataset(directory)
+
+    def test_missing_run_file(self, tmp_path):
+        directory = self._spill(tmp_path)
+        next(directory.glob("tcp_snapshots-*.npy")).unlink()
+        with pytest.raises(SpillError, match="missing"):
+            SpilledDataset(directory)
+
+    def test_row_count_mismatch(self, tmp_path):
+        directory = self._spill(tmp_path)
+        manifest = json.loads((directory / SPILL_MANIFEST_FILENAME).read_text())
+        manifest["kinds"]["player_sessions"]["runs"][0]["rows"] += 1
+        manifest["kinds"]["player_sessions"]["rows"] += 1
+        (directory / SPILL_MANIFEST_FILENAME).write_text(json.dumps(manifest))
+        with pytest.raises(SpillError, match="manifest declares"):
+            SpilledDataset(directory)
+
+    def test_dtype_mismatch(self, tmp_path):
+        directory = self._spill(tmp_path)
+        manifest = json.loads((directory / SPILL_MANIFEST_FILENAME).read_text())
+        manifest["kinds"]["ground_truth"]["dtype"][0][1] = "<i4"
+        (directory / SPILL_MANIFEST_FILENAME).write_text(json.dumps(manifest))
+        with pytest.raises(SpillError, match="columnar schema"):
+            SpilledDataset(directory)
+
+
+class TestMemoryModeByteIdentity:
+    """The tentpole invariant: memory mode never changes a single byte."""
+
+    def test_serial_spill_equals_in_memory(self, reference_dataset, tmp_path):
+        spilled = run(
+            _config(spill_dir=str(tmp_path / "spill"), spill_threshold_rows=128)
+        ).dataset
+        assert isinstance(spilled, SpilledDataset)
+        for kind in SPILL_KINDS:
+            assert list(spilled.iter_kind(kind)) == _kind_records(reference_dataset, kind)
+
+    def test_sharded_spill_equals_in_memory_bytes(self, reference_dataset, tmp_path):
+        sharded = run(
+            _config(
+                workers=4,
+                spill_dir=str(tmp_path / "spill"),
+                spill_threshold_rows=128,
+            )
+        )
+        out_mem = save_dataset(reference_dataset, tmp_path / "mem")
+        out_spill = save_dataset(sharded.dataset, tmp_path / "sharded")
+        for path in sorted(out_mem.iterdir()):
+            assert (out_spill / path.name).read_bytes() == path.read_bytes(), path.name
+
+    def test_metrics_document_byte_identical_across_modes(self, tmp_path):
+        docs = [
+            dump_json(run(config).metrics_document())
+            for config in (
+                _config(),
+                _config(spill_dir=str(tmp_path / "a"), spill_threshold_rows=128),
+                _config(workers=4, spill_dir=str(tmp_path / "b"), spill_threshold_rows=128),
+            )
+        ]
+        assert docs[0] == docs[1] == docs[2]
+
+    def test_spill_counters_live_in_manifest_not_metrics_doc(self, tmp_path):
+        result = run(_config(spill_dir=str(tmp_path / "s"), spill_threshold_rows=128))
+        document = result.metrics_document()
+        assert not any(
+            name.startswith("telemetry.spill.") for name in document["metrics"]["counters"]
+        )
+        execution = result.manifest()["execution"]
+        assert execution["metrics"]["counters"]["telemetry.spill.rows_total"] > 0
+        assert execution["spill_dir"] == str(tmp_path / "s")
+
+    def test_streaming_sessions_equal_materialized(self, reference_dataset, tmp_path):
+        spilled = run(
+            _config(spill_dir=str(tmp_path / "s"), spill_threshold_rows=128)
+        ).dataset
+        for a, b in zip(spilled.iter_sessions(), reference_dataset.sessions()):
+            assert a.session_id == b.session_id
+            assert a.chunks == b.chunks
+            assert a.player_session == b.player_session
+            assert a.cdn_session == b.cdn_session
+
+
+class TestCollectorModes:
+    def test_discard_mode_holds_nothing(self):
+        collector = TelemetryCollector(discard=True)
+        collector.add_player_session(
+            PlayerSessionRecord("s", "ip", "ua", 1, 1.0, 0.0, "os", "b")
+        )
+        dataset = collector.dataset()
+        assert dataset.n_sessions == 0
+
+    def test_multi_period_spill_rejected_up_front(self, tmp_path):
+        config = _config(spill_dir=str(tmp_path / "s"))
+        periods = [PeriodSpec(config=config), PeriodSpec(config=config)]
+        with pytest.raises(ValueError, match="multi-period"):
+            execute_periods(periods)
+
+    def test_merge_all_rejects_mixed_modes(self, tmp_path):
+        spilled = synthesize_spill(tmp_path / "s", 50, seed=4)
+        with pytest.raises(SpillError, match="in-memory"):
+            SpilledDataset.merge_all([spilled, Dataset()])
+
+
+class TestSyntheticGenerator:
+    def test_sharded_generation_equals_serial(self, tmp_path):
+        serial = synthesize_spill(tmp_path / "serial", 2000, seed=5, threshold_rows=512)
+        sharded = synthesize_sharded(
+            tmp_path / "sharded", 2000, 3, seed=5, threshold_rows=512
+        )
+        for kind in SPILL_KINDS:
+            assert list(sharded.iter_kind(kind)) == list(serial.iter_kind(kind))
+
+    def test_sessions_join_and_analyze(self, tmp_path):
+        from repro.core import diagnose_dataset, qoe
+
+        spilled = synthesize_spill(tmp_path / "s", 400, seed=6, threshold_rows=512)
+        summary = qoe.summarize(spilled)
+        assert summary["n_sessions"] == 400
+        fractions = diagnose_dataset(spilled)
+        assert fractions and abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    def test_one_pass_consume_matches_classic(self, tmp_path):
+        from repro.core import diagnose_dataset, qoe
+        from repro.core.streaming import (
+            LocalizationAccumulator,
+            QoeAccumulator,
+            consume,
+        )
+
+        spilled = synthesize_spill(tmp_path / "s", 300, seed=7, threshold_rows=512)
+        q, loc = consume(spilled, QoeAccumulator(), LocalizationAccumulator())
+        assert q == qoe.summarize(spilled)
+        assert loc == diagnose_dataset(spilled)

@@ -9,6 +9,10 @@ Three guarantees, all bidirectional:
   transform keywords — ``repro.sweep.spec``) is documented in
   docs/SCENARIOS.md, and every name documented there exists in the
   grammar;
+* every columnar telemetry field (name **and** fixed-width dtype —
+  ``repro.telemetry.columnar.COLUMN_SCHEMAS``) is documented in
+  docs/TELEMETRY.md, and every documented field/dtype matches the code,
+  because string widths are part of the spill-format contract;
 * every intra-repo markdown link in the curated docs resolves to a real
   file, so the cross-linked doc set (README → docs/* → DESIGN) never rots.
 
@@ -22,6 +26,7 @@ from pathlib import Path
 from typing import List, Set, Tuple
 
 from repro.obs import METRIC_SPECS, SPAN_SPECS, TRACE_EVENT_SPECS
+from repro.telemetry.columnar import COLUMN_SCHEMAS, SPILL_KINDS, dtype_token
 from repro.sweep import (
     AXIS_FIELDS,
     AXIS_VALUE_FIELDS,
@@ -35,6 +40,7 @@ from repro.sweep import (
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OBSERVABILITY_MD = REPO_ROOT / "docs" / "OBSERVABILITY.md"
 SCENARIOS_MD = REPO_ROOT / "docs" / "SCENARIOS.md"
+TELEMETRY_MD = REPO_ROOT / "docs" / "TELEMETRY.md"
 
 #: markdown files whose intra-repo links must resolve (curated docs; the
 #: generated reference dumps PAPERS.md / SNIPPETS.md are out of scope)
@@ -51,6 +57,7 @@ LINKED_DOCS = [
     "docs/PARALLEL.md",
     "docs/PERFORMANCE.md",
     "docs/SCENARIOS.md",
+    "docs/TELEMETRY.md",
 ]
 
 #: a contract table row: the first cell is a backticked dotted name
@@ -192,6 +199,90 @@ class TestScenarioGrammarSync:
         text = SCENARIOS_MD.read_text(encoding="utf-8")
         for name in CANNED_SCENARIOS:
             assert name in text, f"canned scenario {name!r} not mentioned"
+
+
+# a columnar-schema table row in TELEMETRY.md: `field` | `dtype` | ...
+_SCHEMA_ROW = re.compile(r"^\|\s*`([a-z][a-z0-9_]*)`\s*\|\s*`([A-Za-z][0-9]+)`\s*\|")
+_SCHEMA_HEADING = re.compile(r"^###\s+`([a-z_]+)`")
+_COUNTER_MENTION = re.compile(r"`(telemetry\.[a-z0-9_.]+)`")
+
+
+def telemetry_documented_schemas() -> dict:
+    """kind -> [(field, dtype token), ...] parsed from TELEMETRY.md."""
+    schemas: dict = {}
+    rows: List[Tuple[str, str]] = []
+    current = None
+    for line in TELEMETRY_MD.read_text(encoding="utf-8").splitlines():
+        heading = _SCHEMA_HEADING.match(line)
+        if heading:
+            current = heading.group(1)
+            rows = schemas.setdefault(current, [])
+            continue
+        if line.startswith("## "):  # left the "Columnar layout" sections
+            current = None
+            continue
+        if current is not None:
+            row = _SCHEMA_ROW.match(line)
+            if row:
+                rows.append((row.group(1), row.group(2)))
+    return schemas
+
+
+class TestTelemetrySchemaSync:
+    def test_telemetry_doc_exists(self):
+        assert TELEMETRY_MD.is_file()
+
+    def test_every_kind_has_a_schema_table(self):
+        documented = set(telemetry_documented_schemas())
+        assert documented == set(SPILL_KINDS), (
+            "docs/TELEMETRY.md schema sections do not match the record "
+            f"kinds in COLUMN_SCHEMAS: doc has {sorted(documented)}, "
+            f"code has {sorted(SPILL_KINDS)}"
+        )
+
+    def test_fields_and_dtypes_match_both_directions(self):
+        # field order, names, and fixed widths are all contract: a column
+        # added/removed/resized in code must be edited here too (and the
+        # spill format version bumped — docs/TELEMETRY.md).
+        documented = telemetry_documented_schemas()
+        for kind in SPILL_KINDS:
+            in_code = [
+                (name, dtype_token(kind, name))
+                for name in COLUMN_SCHEMAS[kind].field_names
+            ]
+            assert documented.get(kind) == in_code, (
+                f"docs/TELEMETRY.md `{kind}` table out of sync with "
+                f"COLUMN_SCHEMAS: doc {documented.get(kind)} != code {in_code}"
+            )
+
+    def test_row_bytes_documented(self):
+        # each section heading states the packed row size, part of the
+        # RSS budget model
+        text = TELEMETRY_MD.read_text(encoding="utf-8")
+        for kind in SPILL_KINDS:
+            stated = f"`{kind}`"
+            line = next(
+                ln for ln in text.splitlines()
+                if ln.startswith("### ") and stated in ln
+            )
+            assert f"{COLUMN_SCHEMAS[kind].row_bytes} B/row" in line, (
+                f"{kind}: heading does not state the packed row size "
+                f"{COLUMN_SCHEMAS[kind].row_bytes} B/row: {line!r}"
+            )
+
+    def test_spill_counters_documented_and_registered(self):
+        # `telemetry.*` names mentioned in TELEMETRY.md must be registered,
+        # and every registered telemetry.* metric must be mentioned there
+        # (OBSERVABILITY.md coverage is enforced by TestMetricsContractSync)
+        text = _CODE_FENCE.sub("", TELEMETRY_MD.read_text(encoding="utf-8"))
+        mentioned = set(_COUNTER_MENTION.findall(text))
+        registered = {n for n in METRIC_SPECS if n.startswith("telemetry.")}
+        assert registered, "expected telemetry.* metrics in the registry"
+        assert mentioned == registered, (
+            "telemetry.* counters drifted between docs/TELEMETRY.md and "
+            f"the registry: doc mentions {sorted(mentioned)}, registry has "
+            f"{sorted(registered)}"
+        )
 
 
 def _intra_repo_links(path: Path) -> List[Tuple[str, Path]]:

@@ -105,9 +105,24 @@ class TestRegistry:
         assert hist.count == 4
 
     def test_snapshot_covers_full_contract_zero_valued(self):
-        snap = MetricsRegistry().snapshot()
+        # workload snapshot (the byte-stable metrics document) plus the
+        # execution snapshot (run-manifest accounting, docs/TELEMETRY.md)
+        # jointly cover every registered spec, exactly once
+        registry = MetricsRegistry()
+        snap = registry.snapshot()
         emitted = set(snap["counters"]) | set(snap["gauges"]) | set(snap["histograms"])
-        assert emitted == set(METRIC_SPECS)
+        workload = {
+            name for name, spec in METRIC_SPECS.items() if spec.scope == "workload"
+        }
+        assert emitted == workload
+        execution = registry.execution_snapshot()
+        executed = (
+            set(execution["counters"])
+            | set(execution["gauges"])
+            | set(execution["histograms"])
+        )
+        assert executed == set(METRIC_SPECS) - workload
+        assert executed, "expected execution-scoped specs in the contract"
         assert all(value == 0 for value in snap["counters"].values())
         assert all(
             payload["count"] == 0 and set(payload["counts"]) == {0}
