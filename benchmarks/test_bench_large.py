@@ -1,0 +1,56 @@
+"""Large-tier bench: 10k-session fleet-scale throughput, both engines.
+
+Not a paper artifact and not part of the default bench sweep — 10k
+sessions take minutes, so the tier is opt-in behind ``REPRO_BENCH_LARGE=1``
+(CI's scheduled perf job sets it and uploads ``BENCH_perf.json``).  This
+is the scale the fleet engine exists for: per-server cohort stepping
+amortizes scheduling across thousands of concurrent sessions, where the
+event loop pays a global heap operation per chunk.  Each engine records
+its own trajectory entry, so the event-vs-fleet gap is read straight off
+the ``large`` scenario's history.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from bench_util import attach_observability, write_perf_record
+from repro.simulation.config import SimulationConfig
+from repro.simulation.driver import simulate
+
+pytestmark = [
+    pytest.mark.bench,
+    pytest.mark.skipif(
+        os.environ.get("REPRO_BENCH_LARGE") != "1",
+        reason="large tier is opt-in: set REPRO_BENCH_LARGE=1",
+    ),
+]
+
+N_SESSIONS = 10_000
+SEED = 7
+
+
+def run_simulation(engine: str):
+    return simulate(
+        SimulationConfig(
+            n_sessions=N_SESSIONS, warmup_sessions=0, seed=SEED, engine=engine
+        )
+    )
+
+
+@pytest.mark.parametrize("engine", ["event", "fleet"])
+def test_bench_large_throughput(benchmark, engine):
+    result = benchmark.pedantic(run_simulation, args=(engine,), rounds=1, iterations=1)
+    assert result.dataset.n_sessions == N_SESSIONS
+    attach_observability(benchmark)
+    record = write_perf_record(
+        "large",
+        benchmark.stats.stats.min,
+        n_sessions=N_SESSIONS,
+        n_chunks=result.dataset.n_chunks,
+        label=f"run-{engine}",
+    )
+    print(f"\n  large[{engine}]: {record['wall_s']}s wall, "
+          f"{record['chunks_per_s']} chunks/s, spans={record['spans']}")

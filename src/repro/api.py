@@ -21,11 +21,15 @@ three behind one signature::
     # fault injection: a FaultSpec object or a JSON spec path
     result = run(config, faults="examples/fault_cdn_degradation.json")
 
-Dispatch is driven entirely by the config's execution knobs
-(``config.workers``; for period lists, the first period's config), so the
-same call scales from the classic in-process event loop to the sharded
-runner without changing shape — and the determinism contract guarantees
-identical telemetry either way (docs/PARALLEL.md).
+Dispatch is driven entirely by the config's execution knobs through two
+explicit registries: ``config.workers`` picks the process-level executor
+from ``_EXECUTORS`` (serial vs sharded; for period lists, the first
+period's config), and ``config.engine`` picks the stepping engine per
+period from :data:`repro.engine.ENGINE_REGISTRY` (event loop vs fleet
+cohorts).  The same call scales from the classic in-process event loop to
+the sharded fleet runner without changing shape — and the determinism
+contract guarantees identical telemetry on every path (docs/PARALLEL.md,
+docs/PERFORMANCE.md).
 
 ``Simulator`` / ``ParallelSimulator`` remain public for advanced use
 (custom worlds, shard specs, chaos hooks), but new code and docs should go
@@ -36,7 +40,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .cdn.server import CdnServer
 from .faults import FaultSpec
@@ -216,14 +220,104 @@ def run(
     config = config or SimulationConfig()
     if spec is not None:
         config = replace(config, faults=spec)
-    if config.workers > 1:
-        result = ParallelSimulator(config).run()
-        return RunResult(datasets=[result.dataset], labels=("",), simulation=result)
+    return _EXECUTORS[_execution_mode(config)](config)
+
+
+def _execution_mode(config: SimulationConfig) -> str:
+    """The process-level execution mode ("serial" | "sharded").
+
+    Orthogonal to the stepping engine: ``config.engine`` selects *how each
+    period steps* (resolved per period inside the driver via
+    :data:`repro.engine.ENGINE_REGISTRY`), while the mode here selects
+    *which processes* run those periods.
+    """
+    return "sharded" if config.workers > 1 else "serial"
+
+
+def _execute_serial(config: SimulationConfig) -> RunResult:
     simulator = Simulator(config)
     result = simulator.run()
     return RunResult(
         datasets=[result.dataset], labels=("",), simulation=result, simulator=simulator
     )
+
+
+def _execute_sharded(config: SimulationConfig) -> RunResult:
+    result = ParallelSimulator(config).run()
+    return RunResult(datasets=[result.dataset], labels=("",), simulation=result)
+
+
+def _merge_periods(datasets: List[Dataset]) -> Dataset:
+    """Combine per-period datasets into one, honouring the memory mode.
+
+    Spilled periods merge lazily — the combined facade iterates every
+    period's runs without materializing rows (docs/TELEMETRY.md)."""
+    from .telemetry.spill import SpilledDataset
+
+    if datasets and isinstance(datasets[0], SpilledDataset):
+        return SpilledDataset.merge_all(datasets)
+    return Dataset.merge_all(datasets, canonicalize=True)
+
+
+def _execute_periods_serial(
+    periods: List[PeriodSpec], exec_config: SimulationConfig, labels: Tuple[str, ...]
+) -> RunResult:
+    metrics = MetricsRegistry()
+    datasets, simulator = execute_periods(periods, metrics=metrics)
+    simulation = SimulationResult(
+        dataset=_merge_periods(datasets),
+        catalog=simulator.catalog,
+        population=simulator.population,
+        deployment=simulator.deployment,
+        servers=simulator.servers,
+        config=exec_config,
+        shard_reports=[],
+        metrics=metrics,
+        trace=simulator.trace,
+    )
+    return RunResult(
+        datasets=datasets, labels=labels, simulation=simulation, simulator=simulator
+    )
+
+
+def _execute_periods_sharded(
+    periods: List[PeriodSpec], exec_config: SimulationConfig, labels: Tuple[str, ...]
+) -> RunResult:
+    runner = ParallelSimulator(exec_config)
+    datasets, servers, reports = runner.run_periods(periods)
+    # Rebuild the (deterministic) world for the result handle: the
+    # workers built their own copies, which died with them.
+    from .simulation.driver import build_world
+
+    world = build_world(exec_config)
+    simulation = SimulationResult(
+        dataset=_merge_periods(datasets),
+        catalog=world.catalog,
+        population=world.population,
+        deployment=world.deployment,
+        servers=servers,
+        config=exec_config,
+        shard_reports=reports,
+        metrics=runner.metrics,
+        trace=runner.trace,
+    )
+    return RunResult(datasets=datasets, labels=labels, simulation=simulation)
+
+
+#: Execution-mode dispatch tables.  Like :data:`repro.engine.ENGINE_REGISTRY`
+#: for stepping engines, these replace per-call-site if/else chains: adding
+#: an execution mode is a new entry here, and :func:`run` stays closed.
+_EXECUTORS: Dict[str, Callable[[SimulationConfig], RunResult]] = {
+    "serial": _execute_serial,
+    "sharded": _execute_sharded,
+}
+
+_PERIOD_EXECUTORS: Dict[
+    str, Callable[[List[PeriodSpec], SimulationConfig, Tuple[str, ...]], RunResult]
+] = {
+    "serial": _execute_periods_serial,
+    "sharded": _execute_periods_sharded,
+}
 
 
 def _run_periods(
@@ -238,39 +332,6 @@ def _run_periods(
         ]
     exec_config = periods[0].config
     labels = tuple(period.label for period in periods)
-    if exec_config.workers > 1:
-        runner = ParallelSimulator(exec_config)
-        datasets, servers, reports = runner.run_periods(periods)
-        # Rebuild the (deterministic) world for the result handle: the
-        # workers built their own copies, which died with them.
-        from .simulation.driver import build_world
-
-        world = build_world(exec_config)
-        simulation = SimulationResult(
-            dataset=Dataset.merge_all(datasets, canonicalize=True),
-            catalog=world.catalog,
-            population=world.population,
-            deployment=world.deployment,
-            servers=servers,
-            config=exec_config,
-            shard_reports=reports,
-            metrics=runner.metrics,
-            trace=runner.trace,
-        )
-        return RunResult(datasets=datasets, labels=labels, simulation=simulation)
-    metrics = MetricsRegistry()
-    datasets, simulator = execute_periods(periods, metrics=metrics)
-    simulation = SimulationResult(
-        dataset=Dataset.merge_all(datasets, canonicalize=True),
-        catalog=simulator.catalog,
-        population=simulator.population,
-        deployment=simulator.deployment,
-        servers=simulator.servers,
-        config=exec_config,
-        shard_reports=[],
-        metrics=metrics,
-        trace=simulator.trace,
-    )
-    return RunResult(
-        datasets=datasets, labels=labels, simulation=simulation, simulator=simulator
+    return _PERIOD_EXECUTORS[_execution_mode(exec_config)](
+        periods, exec_config, labels
     )

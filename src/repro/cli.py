@@ -54,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
              "identical telemetry (default: 1, the classic serial loop)",
     )
     sim.add_argument(
+        "--engine", choices=["auto", "event", "fleet"], default="auto",
+        help="stepping engine: 'event' is the classic per-session event "
+             "loop, 'fleet' advances calm sessions in vectorized cohorts, "
+             "'auto' picks by session count; every engine emits "
+             "byte-identical telemetry (see docs/PERFORMANCE.md)",
+    )
+    sim.add_argument(
         "--shard-timeout", type=float, default=None, metavar="S",
         help="wall-clock budget per shard attempt in seconds; a shard "
              "exceeding it is killed and retried once (default: none)",
@@ -243,6 +250,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         n_videos=args.videos,
         abr_name=args.abr,
         workers=args.workers,
+        engine=args.engine,
         shard_timeout_s=args.shard_timeout,
         # tracing is an execution knob: it never changes the workload
         trace_sample=args.trace_sample if args.trace_out else 0.0,
@@ -251,6 +259,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         spill_threshold_rows=args.spill_threshold,
     )
     mode = "serially" if args.workers <= 1 else f"on {args.workers} shard workers"
+    mode += f" ({args.engine} engine)"
     injected = f", faults from {args.faults}" if args.faults else ""
     print(
         f"simulating {args.sessions} sessions (+{warmup} warmup), "

@@ -1,0 +1,72 @@
+"""repro.engine — stepping engines behind an explicit selection registry.
+
+A *stepping engine* is one strategy for advancing a collection period's
+sessions through simulated time.  Every engine consumes the same inputs
+(a :class:`~repro.simulation.driver.Simulator` plus period parameters)
+and must produce byte-identical telemetry — datasets, metrics documents,
+traces — because engine choice is an execution knob, excluded from the
+workload identity hash (docs/ARCHITECTURE.md).
+
+Two engines ship:
+
+* ``"event"`` — the classic global heap event loop, the reference
+  implementation (:mod:`repro.engine.event`);
+* ``"fleet"`` — per-server cohorts advanced with numpy state arrays,
+  demoting sessions to a scalar heap only while they are interesting
+  (:mod:`repro.engine.fleet`).
+
+``"auto"`` resolves per period via
+:func:`~repro.simulation.execution.resolve_engine`.  The registry is the
+extension point: a new engine is one entry here plus an
+``ENGINE_NAMES`` entry, not another branch in the driver.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from .._execution import (
+    AUTO_FLEET_MIN_SESSIONS,
+    ENGINE_NAMES,
+    resolve_engine,
+)
+from .event import run_event_period
+from .fleet import FleetCohort, run_fleet_period
+
+if TYPE_CHECKING:  # pragma: no cover — typing only
+    from ..obs.trace import TraceRecorder
+    from ..simulation.driver import Simulator
+    from ..telemetry.collector import TelemetryCollector
+
+__all__ = [
+    "AUTO_FLEET_MIN_SESSIONS",
+    "ENGINE_NAMES",
+    "ENGINE_REGISTRY",
+    "FleetCohort",
+    "get_engine",
+    "resolve_engine",
+    "run_event_period",
+    "run_fleet_period",
+]
+
+#: A period runner: ``(sim, n_sessions, seed, collector, start_ms,
+#: trace) -> final clock (ms)``.
+PeriodRunner = Callable[..., float]
+
+#: Concrete engine name -> period runner.  ``"auto"`` is not a key: it
+#: resolves to one of these before dispatch (resolve_engine).
+ENGINE_REGISTRY: Dict[str, PeriodRunner] = {
+    "event": run_event_period,
+    "fleet": run_fleet_period,
+}
+
+
+def get_engine(name: str) -> PeriodRunner:
+    """Look up a concrete engine by name (post-``auto`` resolution)."""
+    try:
+        return ENGINE_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; registered engines: "
+            f"{sorted(ENGINE_REGISTRY)}"
+        ) from None

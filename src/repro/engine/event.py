@@ -1,0 +1,85 @@
+"""The classic per-session event-loop stepping engine.
+
+One global heap interleaves every session's chunk events in time order —
+the reference execution: simple, exact, and the baseline every other
+engine must match byte for byte.  This module is the old body of
+``Simulator._run_period``, extracted behind the engine registry
+(:mod:`repro.engine`) so the driver dispatches by name instead of
+hard-coding one execution strategy.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..client.abr import make_abr
+from ..simulation.engine import EventLoop
+from ..simulation.session import SessionActor
+from ..telemetry.collector import TelemetryCollector
+from ..workload.sessions import SessionPlan
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids a runtime cycle
+    from ..obs.trace import TraceRecorder
+    from ..simulation.driver import Simulator
+
+__all__ = ["run_event_period"]
+
+
+def run_event_period(
+    sim: "Simulator",
+    n_sessions: int,
+    seed: int,
+    collector: TelemetryCollector,
+    start_ms: float,
+    trace: Optional["TraceRecorder"] = None,
+) -> float:
+    """Run one collection period through the global event loop."""
+    config = sim.config
+    generator = sim._session_generator(seed)
+    loop = EventLoop(metrics=sim.metrics)
+
+    def start_session(plan: SessionPlan):
+        def on_start(now_ms: float) -> None:
+            decision = sim.mapping.assign(
+                plan.client.prefix.geo,
+                plan.video.video_id,
+                plan.video.rank,
+                plan.session_id,
+            )
+            actor = SessionActor(
+                plan=plan,
+                mapping=decision,
+                server=sim.servers[decision.server_id],
+                abr=make_abr(
+                    config.abr_name,
+                    plan.video.bitrates_kbps,
+                    **(
+                        {"screen_outliers": True}
+                        if config.abr_screen_outliers and config.abr_name != "buffer"
+                        else {}
+                    ),
+                ),
+                collector=collector,
+                config=config,
+                metrics=sim.metrics,
+                faults=sim.faults,
+                trace=trace,
+            )
+            # One chunk callback per session, rescheduling itself: the
+            # previous closure-per-chunk allocated a fresh function and
+            # cell for every event on the hot path.
+            def on_chunk(now_ms: float, actor: SessionActor = actor) -> None:
+                next_at = actor.process_chunk(now_ms)
+                if next_at is not None:
+                    loop.schedule(next_at, on_chunk)
+
+            first_request_at = now_ms + actor.manifest_time_ms(now_ms)
+            loop.schedule(first_request_at, on_chunk)
+
+        return on_start
+
+    for plan in generator.generate(n_sessions, start_ms=start_ms):
+        if sim.shard is not None and not sim._owns_plan(plan):
+            continue
+        loop.schedule(plan.start_ms, start_session(plan))
+    return loop.run()

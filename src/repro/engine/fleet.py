@@ -1,0 +1,265 @@
+"""Fleet-vectorized stepping engine: cohorts of calm sessions in lockstep.
+
+Sessions couple only through their CDN server (cache contents, load
+EWMA), so the global event heap is overkill: the workload decomposes into
+independent per-server groups, and each group can be advanced to
+completion on its own — exactly the decomposition the shard runner
+exploits across processes, applied in-process.  Within a group the engine
+keeps the **cohort**: numpy state arrays (due time, congestion window,
+smoothed RTT, RTO, playback-buffer level, chunk index) over the group's
+calm sessions, and picks each next event with an ``argmin`` over the due
+array instead of heap churn.  Sessions leave the cohort (are *demoted* to
+a per-group scalar event heap) while they are trace-sampled, inside an
+active fault epoch, inside a congestion episode, or switching bitrate —
+and are *promoted* back as soon as they are calm again.
+
+Determinism is structural, not re-derived: both engines execute the same
+``SessionActor`` code against the same per-session RNG streams, and
+within a group events replay in exactly the event loop's ``(time,
+schedule order)`` order.  Groups are mutually independent, so advancing
+them sequentially instead of interleaved changes no record: datasets,
+metrics documents, and traces are canonically sorted/aggregated on
+export.  The only engine-visible difference is span accounting — calm
+chunks skip the ``session.chunk`` span wrapper (run manifests are not
+byte-stable by design; see docs/PERFORMANCE.md for the caveats).
+
+Demotion triggers are best-effort peeks (no RNG is consumed): the
+congestion-episode check reads the path's last-advanced episode horizon,
+and the fault check queries the pure time-indexed epoch schedule.
+Correctness never depends on the predicate — a session stepped calmly
+through an episode produces byte-identical records — so the predicate
+can stay cheap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..client.abr import make_abr
+from ..simulation.session import SessionActor
+from ..telemetry.collector import TelemetryCollector
+from ..workload.sessions import SessionPlan
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids a runtime cycle
+    from ..cdn.mapping import MappingDecision
+    from ..obs.trace import TraceRecorder
+    from ..simulation.driver import Simulator
+
+__all__ = ["FleetCohort", "run_fleet_period"]
+
+_INF = float("inf")
+
+
+class FleetCohort:
+    """Numpy state arrays over one server group's sessions.
+
+    ``due[i]`` is +inf while session *i* is demoted or finished; the
+    mirrors (cwnd/srtt/rto/buffer level/chunk index) track the last
+    processed chunk of every session that has started, demoted or not —
+    they are the fleet-wide observable state, exposed for tests and
+    diagnostics.
+    """
+
+    __slots__ = ("due", "seq", "cwnd", "srtt_ms", "rto_ms", "buffer_ms", "chunk_idx")
+
+    def __init__(self, n: int) -> None:
+        self.due = np.full(n, _INF)
+        self.seq = np.zeros(n, dtype=np.int64)
+        self.cwnd = np.zeros(n)
+        self.srtt_ms = np.zeros(n)
+        self.rto_ms = np.zeros(n)
+        self.buffer_ms = np.zeros(n)
+        self.chunk_idx = np.zeros(n, dtype=np.int64)
+
+
+def _build_actor(
+    sim: "Simulator",
+    plan: SessionPlan,
+    decision: "MappingDecision",
+    collector: TelemetryCollector,
+    trace: Optional["TraceRecorder"],
+) -> SessionActor:
+    config = sim.config
+    return SessionActor(
+        plan=plan,
+        mapping=decision,
+        server=sim.servers[decision.server_id],
+        abr=make_abr(
+            config.abr_name,
+            plan.video.bitrates_kbps,
+            **(
+                {"screen_outliers": True}
+                if config.abr_screen_outliers and config.abr_name != "buffer"
+                else {}
+            ),
+        ),
+        collector=collector,
+        config=config,
+        metrics=sim.metrics,
+        faults=sim.faults,
+        trace=trace,
+    )
+
+
+def _demoted(actor: SessionActor, at_ms: float, prev_bitrate: float) -> bool:
+    """Should this session's next chunk run on the scalar event heap?"""
+    if actor._trace is not None:
+        return True  # trace-sampled: every chunk emits causal events
+    path = actor.path
+    if at_ms < path._episode_until_ms:
+        return True  # inside a congestion episode (peek, no RNG consumed)
+    if path.fault_probe is not None and actor.faults is not None:
+        client = actor.plan.client
+        if (
+            actor.faults.path_state(client.prefix.org, client.prefix.prefix_id, at_ms)
+            is not None
+        ):
+            return True  # active fault epoch on this session's path
+    last = actor.last_bitrate_kbps
+    if last is not None and prev_bitrate > 0.0 and last != prev_bitrate:
+        return True  # mid-ABR-switch: ramp the next chunk scalar too
+    return False
+
+
+def _run_group(
+    sim: "Simulator",
+    members: List[Tuple[SessionPlan, "MappingDecision"]],
+    collector: TelemetryCollector,
+    trace: Optional["TraceRecorder"],
+) -> Tuple[int, float]:
+    """Advance one server group to completion.
+
+    Returns ``(events_processed, final_clock_ms)`` — the bookkeeping the
+    global event loop would have produced for these sessions.
+    """
+    n = len(members)
+    cohort = FleetCohort(n)
+    due = cohort.due
+    seq_arr = cohort.seq
+    actors: List[Optional[SessionActor]] = [None] * n
+    prev_bitrate = np.zeros(n)
+    demoted: List[Tuple[float, int, int]] = []  # (at_ms, seq, idx) heap
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    argmin = np.argmin
+    seq = 0
+    for i, (plan, _) in enumerate(members):
+        due[i] = plan.start_ms
+        seq_arr[i] = seq
+        seq += 1
+    events = 0
+    clock = 0.0
+    while True:
+        # Next event: min over the cohort's due array and the demoted
+        # heap, ordered by (time, schedule sequence) exactly like the
+        # event loop's heap.
+        j = int(argmin(due))
+        t_cohort = due[j]
+        if demoted and (
+            demoted[0][0] < t_cohort
+            or (demoted[0][0] == t_cohort and demoted[0][1] < seq_arr[j])
+        ):
+            at, _, idx = heappop(demoted)
+            from_heap = True
+        elif t_cohort == _INF:
+            break
+        else:
+            ties = np.flatnonzero(due == t_cohort)
+            if len(ties) > 1:
+                j = int(ties[argmin(seq_arr[ties])])
+            at, idx = float(t_cohort), j
+            due[idx] = _INF
+            from_heap = False
+        events += 1
+        clock = at
+
+        actor = actors[idx]
+        if actor is None:
+            # Session-start event: build the actor (pure per-session RNG
+            # streams — identical to the event engine's on_start) and
+            # schedule the first chunk request.
+            plan, decision = members[idx]
+            actor = _build_actor(sim, plan, decision, collector, trace)
+            actors[idx] = actor
+            next_at = at + actor.manifest_time_ms(at)
+        else:
+            if from_heap:
+                next_at = actor.process_chunk(at)  # spanned, like the loop
+            else:
+                next_at = actor._process_chunk(at)  # calm: skip the span
+            tcp = actor.tcp
+            cohort.cwnd[idx] = tcp.cwnd
+            cohort.srtt_ms[idx] = tcp.srtt_ms if tcp.srtt_ms is not None else 0.0
+            cohort.rto_ms[idx] = tcp.rto_ms
+            cohort.chunk_idx[idx] = actor.next_chunk
+            if next_at is None:
+                cohort.buffer_ms[idx] = 0.0
+                actors[idx] = None  # session over: free eagerly
+                continue
+            cohort.buffer_ms[idx] = actor.buffer.level_at(next_at)
+
+        if _demoted(actor, next_at, float(prev_bitrate[idx])):
+            heappush(demoted, (next_at, seq, idx))
+        else:
+            due[idx] = next_at
+            seq_arr[idx] = seq
+        seq += 1
+        if actor.last_bitrate_kbps is not None:
+            prev_bitrate[idx] = actor.last_bitrate_kbps
+    return events, clock
+
+
+def run_fleet_period(
+    sim: "Simulator",
+    n_sessions: int,
+    seed: int,
+    collector: TelemetryCollector,
+    start_ms: float,
+    trace: Optional["TraceRecorder"] = None,
+) -> float:
+    """Run one collection period with the fleet engine.
+
+    Folds the same ``engine.events_total`` counter and ``engine.clock_ms``
+    gauge the event loop folds (the byte-stable metrics document depends
+    on them), under the same ``engine.run`` span.
+    """
+    generator = sim._session_generator(seed)
+    groups: Dict[str, List[Tuple[SessionPlan, "MappingDecision"]]] = {}
+    for plan in generator.generate(n_sessions, start_ms=start_ms):
+        if sim.shard is not None and not sim._owns_plan(plan):
+            continue
+        # The mapping decision is a pure function of stable ids: computed
+        # here for grouping, it is the decision the session would get at
+        # start time.
+        decision = sim.mapping.assign(
+            plan.client.prefix.geo,
+            plan.video.video_id,
+            plan.video.rank,
+            plan.session_id,
+        )
+        groups.setdefault(decision.server_id, []).append((plan, decision))
+
+    events = 0
+    clock = 0.0
+    metrics = sim.metrics
+    span = metrics.span("engine.run") if metrics is not None else None
+    try:
+        if span is not None:
+            span.__enter__()
+        for server_id in sorted(groups):
+            group_events, group_clock = _run_group(
+                sim, groups[server_id], collector, trace
+            )
+            events += group_events
+            if group_clock > clock:
+                clock = group_clock
+    finally:
+        if span is not None:
+            span.__exit__(None, None, None)
+        if metrics is not None:
+            metrics.counter("engine.events_total").inc(events)
+            metrics.gauge("engine.clock_ms").set(clock)
+    return clock

@@ -221,11 +221,14 @@ class TcpConnection:
         retx = 0
         rounds = 0
         min_rtt = float("inf")
-        # Loss-free batching is legal only when the path cannot randomly
-        # drop segments and no fault overlay is installed; rounds whose
-        # window would overrun the bottleneck queue (overflow loss) are
-        # excluded per round by the batch planner itself.
+        # Batching is legal only when no fault overlay is installed (the
+        # probe's epochs are invisible to epoch_window).  Zero-loss paths
+        # use the exact loss-free fast path (stream-identical to the
+        # general loop); lossy paths use the speculative planner, whose
+        # draw discipline is batched-by-construction (both engines share
+        # this code, so cross-engine identity is structural).
         can_batch = path.loss_rate == 0.0 and path.fault_probe is None
+        can_speculate = path.loss_rate > 0.0 and path.fault_probe is None
 
         while remaining > 0:
             # -- analytic fast path: advance loss-free rounds inside one
@@ -249,6 +252,22 @@ class TcpConnection:
                         continue
                     # rounds_k == 0: the epoch boundary is too close to
                     # guarantee a loss-free round — take one general round.
+            elif can_speculate:
+                mult, bw_div, valid_until = path.epoch_window(t)
+                if mult == 1.0 and bw_div == 1.0:
+                    t, remaining, sent_k, retx_k, rounds_k, batch_min_rtt = (
+                        self._advance_speculative_rounds(
+                            t, remaining, valid_until, samples
+                        )
+                    )
+                    if rounds_k:
+                        rounds += rounds_k
+                        sent += sent_k
+                        retx += retx_k
+                        if batch_min_rtt < min_rtt:
+                            min_rtt = batch_min_rtt
+                        continue
+                    # rounds_k == 0: boundary too close — one general round.
 
             inflight = min(int(self.cwnd), max_win, remaining)
             if inflight < 1:
@@ -442,3 +461,247 @@ class TcpConnection:
         self.bytes_acked_total += sent * mss
         self._next_snapshot_ms = next_snap
         return t, remaining - sent, sent, k, min_rtt
+
+    #: upper bound on rounds planned per speculative batch (bounds the
+    #: plan-pass work when the loss rate is tiny and the horizon long)
+    _SPECULATE_MAX_ROUNDS = 256
+
+    def _advance_speculative_rounds(
+        self,
+        t: float,
+        remaining: int,
+        valid_until: float,
+        samples: List[TcpStateSample],
+    ) -> Tuple[float, int, int, int, int, float]:
+        """Advance rounds of a *lossy* path inside one calm epoch window.
+
+        Speculative window batching: plan up to K rounds assuming no loss
+        occurs (the no-loss window trajectory is deterministic), then
+        sample the *first lossy round* directly by inverting the
+        cumulative no-loss survival product with a single uniform draw —
+        exactly the distribution the general loop's per-round
+        ``binomial(inflight, loss_p)`` sequence induces, without a
+        binomial call per round.  The loss round's segment count is a
+        second uniform inverted through the binomial CDF conditioned on
+        >= 1 loss, and its recovery replays the general loop's
+        arithmetic exactly (RTO on severe loss, fast retransmit plus one
+        extra RTT draw otherwise).  Only the rounds actually applied
+        draw RTT-noise normals (one batched call), so no draws are
+        wasted.  The draw discipline is *batched by construction*: every
+        engine runs this same code, so records are identical across
+        engines by sharing, not by re-derivation.
+
+        Overflow windows (in-flight above the bottleneck capacity) stay in
+        the batch — their elevated loss probability is part of the plan.
+        The time bound uses the same +12σ worst-case noise guard as the
+        loss-free fast path, so no planned round can cross *valid_until*
+        and no congestion-episode RNG draw can be missed.
+
+        Returns ``(new_t, new_remaining, segments_sent, segments_retx,
+        rounds, min_rtt)``; ``rounds == 0`` means not even one round fits
+        before the boundary and the caller must take a general round.
+        """
+        path = self.path
+        base_ms = path.base_rtt_ms
+        bottleneck = path.bottleneck_kbps
+        capacity_bytes = path._capacity_bytes
+        loss_rate = path.loss_rate
+        max_win = self.max_window_segments
+        mss = self.mss
+        growth = self.slow_start_growth
+        cwnd_cap = float(MAX_CWND_SEGMENTS)
+        ssthresh = self.ssthresh
+
+        # First-loss inversion, fused with the plan pass: one uniform from
+        # the connection stream selects the first round with >= 1 lost
+        # segment, with P(first loss at j) = prod_{i<j} surv_i *
+        # (1 - surv_j) — the same law as drawing
+        # binomial(inflight_i, loss_p_i) round by round.  Because u is
+        # drawn up front, planning stops *at* the loss round: every
+        # planned round is applied, nothing is wasted.
+        u = self.rng.random()
+        plan_inflight: List[int] = []
+        plan_serial: List[float] = []
+        loss_p = 0.0
+        surv = 1.0
+        loss_round = -1
+        cwnd = self.cwnd
+        rem = remaining
+        worst_t = t
+        worst_base_ms = base_ms * _NOISE_BOUND
+        max_rounds = self._SPECULATE_MAX_ROUNDS
+        surv_cum = 1.0
+        while rem > 0 and len(plan_inflight) < max_rounds:
+            inflight = int(cwnd)
+            if inflight > max_win:
+                inflight = max_win
+            if inflight > rem:
+                inflight = rem
+            if inflight < 1:
+                inflight = 1
+            inflight_bytes = inflight * mss
+            serialization_ms = inflight_bytes * 8.0 / bottleneck
+            worst_t += worst_base_ms + serialization_ms
+            if worst_t > valid_until:
+                break
+            if inflight_bytes <= capacity_bytes:
+                loss_p = loss_rate if loss_rate < 0.9 else 0.9
+            else:
+                overflow = (inflight_bytes - capacity_bytes) / inflight_bytes
+                loss_p = min(0.9, loss_rate + overflow)
+            surv = (1.0 - loss_p) ** inflight
+            plan_inflight.append(inflight)
+            plan_serial.append(serialization_ms)
+            surv_cum *= surv
+            if u > surv_cum:
+                # This round is the first with >= 1 lost segment; the
+                # trajectory past it depends on the loss, so stop here.
+                loss_round = len(plan_inflight) - 1
+                break
+            if cwnd < ssthresh:
+                cwnd = cwnd * growth
+            else:
+                cwnd = cwnd + 1.0
+            if cwnd > cwnd_cap:
+                cwnd = cwnd_cap
+            rem -= inflight
+        n_apply = len(plan_inflight)
+        if n_apply == 0:
+            # The epoch boundary is too close for even one round; the
+            # caller takes a general round.  (The uniform consumed above
+            # is simply discarded — deterministic either way.)
+            return t, remaining, 0, 0, 0, float("inf")
+        n_calm = n_apply if loss_round < 0 else loss_round
+
+        # One batched draw for exactly the normals these rounds need.
+        noise_z = path.rng.standard_normal(n_apply).tolist()
+        pow_srtt = _POW_SRTT
+        pow_var = _POW_VAR
+        exp_ = math.exp
+        srtt = self.srtt_ms
+        rttvar = self.rttvar_ms
+        cwnd = self.cwnd
+        next_snap = self._next_snapshot_ms
+        interval = self.snapshot_interval_ms
+        retx_total = self.retx_total
+        min_rtt = float("inf")
+        sent = 0
+        retx = 0
+        delivered = 0
+        for i in range(n_calm):
+            inflight = plan_inflight[i]
+            rtt = base_ms * exp_(0.08 * noise_z[i])
+            if rtt < min_rtt:
+                min_rtt = rtt
+            observed = rtt + plan_serial[i]
+            sent += inflight
+            if cwnd < ssthresh:
+                cwnd = cwnd * growth
+            else:
+                cwnd = cwnd + 1.0
+            if cwnd > cwnd_cap:
+                cwnd = cwnd_cap
+            if srtt is None:
+                srtt = observed
+                rttvar = observed / 2.0
+            else:
+                n = inflight if inflight < _OBSERVE_CAP else _OBSERVE_CAP
+                a = pow_srtt[n]
+                b = pow_var[n]
+                delta = srtt - observed
+                rttvar = b * rttvar + 2.0 * (a - b) * abs(delta)
+                srtt = observed + delta * a
+            delivered += inflight
+            t += observed
+            while next_snap is not None and t >= next_snap:
+                samples.append(
+                    TcpStateSample(
+                        t_ms=next_snap,
+                        cwnd_segments=int(cwnd),
+                        srtt_ms=srtt,
+                        rttvar_ms=rttvar,
+                        retx_total=retx_total,
+                        mss=mss,
+                        rto_ms=RTO_FLOOR_MS + srtt + 4.0 * rttvar,
+                    )
+                )
+                next_snap += interval
+        if loss_round >= 0:
+            # loss_p and surv still hold the loss round's values: the plan
+            # loop broke immediately after computing them.
+            j = loss_round
+            inflight = plan_inflight[j]
+            rtt = base_ms * exp_(0.08 * noise_z[j])
+            if rtt < min_rtt:
+                min_rtt = rtt
+            observed = rtt + plan_serial[j]
+            round_time = observed
+            # Loss count: binomial(inflight, loss_p) conditioned on >= 1,
+            # by inverse-CDF walk along the pmf recurrence.  When the
+            # no-loss mass has underflowed the conditioning is vacuous and
+            # a plain binomial draw (clamped to >= 1) is exact to ~1e-250.
+            if surv < 1e-250:
+                losses = int(self.rng.binomial(inflight, loss_p))
+                if losses < 1:
+                    losses = 1
+            else:
+                u2 = self.rng.random()
+                target = surv + u2 * (1.0 - surv)
+                pmf = surv
+                cdf = surv
+                x = 0
+                ratio = loss_p / (1.0 - loss_p)
+                while cdf < target and x < inflight:
+                    pmf *= (inflight - x) / (x + 1.0) * ratio
+                    x += 1
+                    cdf += pmf
+                losses = x if x >= 1 else 1
+            sent += inflight + losses
+            retx += losses
+            retx_total += losses
+            severe = losses >= max(1, int(0.5 * inflight))
+            if severe:
+                # RTO from the pre-update estimator, as in the loop.
+                if srtt is None:
+                    round_time += 1000.0
+                else:
+                    round_time += RTO_FLOOR_MS + srtt + 4.0 * rttvar
+                ssthresh = max(cwnd / 2.0, 2.0)
+                cwnd = max(float(self.initial_cwnd) / 2.0, 2.0)
+            else:
+                round_time += path.sample_rtt(t + observed)
+                ssthresh = max(inflight / 2.0, 2.0)
+                cwnd = ssthresh
+            if srtt is None:
+                srtt = observed
+                rttvar = observed / 2.0
+            else:
+                n = inflight if inflight < _OBSERVE_CAP else _OBSERVE_CAP
+                a = pow_srtt[n]
+                b = pow_var[n]
+                delta = srtt - observed
+                rttvar = b * rttvar + 2.0 * (a - b) * abs(delta)
+                srtt = observed + delta * a
+            delivered += inflight
+            t += round_time
+            while next_snap is not None and t >= next_snap:
+                samples.append(
+                    TcpStateSample(
+                        t_ms=next_snap,
+                        cwnd_segments=int(cwnd),
+                        srtt_ms=srtt,
+                        rttvar_ms=rttvar,
+                        retx_total=retx_total,
+                        mss=mss,
+                        rto_ms=RTO_FLOOR_MS + srtt + 4.0 * rttvar,
+                    )
+                )
+                next_snap += interval
+        self.srtt_ms = srtt
+        self.rttvar_ms = rttvar
+        self.cwnd = cwnd
+        self.ssthresh = ssthresh
+        self.retx_total = retx_total
+        self.bytes_acked_total += delivered * mss
+        self._next_snapshot_ms = next_snap
+        return t, remaining - delivered, sent, retx, n_apply, min_rtt

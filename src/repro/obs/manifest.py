@@ -23,6 +23,8 @@ import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
+from .._execution import EXECUTION_FIELD_NAMES
+
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
     from ..simulation.config import SimulationConfig
     from ..simulation.driver import SimulationResult
@@ -44,18 +46,11 @@ __all__ = [
 
 #: Config fields that choose *how* (or whether) the run is observed and
 #: executed, never *what* is simulated (see SimulationConfig).  Excluded
-#: from the workload identity hash so serial, sharded, and traced runs of
-#: one workload share a config_hash.
-EXECUTION_FIELDS = frozenset(
-    {
-        "workers",
-        "shard_timeout_s",
-        "shard_by",
-        "trace_sample",
-        "spill_dir",
-        "spill_threshold_rows",
-    }
-)
+#: from the workload identity hash so serial, sharded, traced, and
+#: fleet-stepped runs of one workload share a config_hash.  Derived
+#: structurally from :class:`~repro.simulation.execution.ExecutionOptions`
+#: — adding an execution knob there excludes it here automatically.
+EXECUTION_FIELDS = frozenset(EXECUTION_FIELD_NAMES)
 
 MANIFEST_SCHEMA = "repro.obs/1"
 #: Integer schema version carried by every manifest (see the migration
@@ -105,6 +100,7 @@ def run_manifest(
     manifest = _identity(result)
     manifest["execution"] = {
         "workers": config.workers,
+        "engine": config.engine,
         "shard_by": config.shard_by,
         "shard_timeout_s": config.shard_timeout_s,
         "n_shards": len(shards) or 1,

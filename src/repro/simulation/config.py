@@ -17,9 +17,10 @@ from ..client.abr import ABR_NAMES
 from ..faults.spec import FaultSpec
 from ..workload.catalog import DEFAULT_BITRATE_LADDER_KBPS
 from ..workload.clients import PopulationConfig
+from .._execution import ENGINE_NAMES, EXECUTION_FIELD_NAMES, ExecutionOptions
 from .shard import SHARD_MODES
 
-__all__ = ["SimulationConfig"]
+__all__ = ["ExecutionOptions", "SimulationConfig"]
 
 
 @dataclass
@@ -115,6 +116,11 @@ class SimulationConfig:
     #: sorted run (the RSS-bound knob — see the budget model in
     #: docs/TELEMETRY.md)
     spill_threshold_rows: int = 262_144
+    #: stepping engine (docs/PERFORMANCE.md, "Fleet engine"): "event" is
+    #: the classic per-session event loop, "fleet" advances calm sessions
+    #: in vectorized cohorts, "auto" (default) picks by session count.
+    #: Execution knob: every engine emits byte-identical telemetry.
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_sessions <= 0:
@@ -155,10 +161,28 @@ class SimulationConfig:
             raise ValueError(
                 f"unknown shard_by {self.shard_by!r}; choose from {SHARD_MODES}"
             )
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {ENGINE_NAMES}"
+            )
         if self.faults is not None and not isinstance(self.faults, FaultSpec):
             raise TypeError(
                 f"faults must be a FaultSpec (or None), got {type(self.faults).__name__}"
             )
+
+    @property
+    def execution(self) -> ExecutionOptions:
+        """The execution knobs as a typed immutable view.
+
+        The fields are mirrored structurally from
+        :class:`~repro.simulation.execution.ExecutionOptions`, which is
+        also what the workload config hash excludes — adding an execution
+        knob there keeps config, hash, and this view in sync by
+        construction.
+        """
+        return ExecutionOptions(
+            **{name: getattr(self, name) for name in EXECUTION_FIELD_NAMES}
+        )
 
     def with_overrides(self, **kwargs) -> "SimulationConfig":
         """A copy with the given fields replaced (convenience for sweeps)."""

@@ -16,7 +16,6 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 from ..cdn.mapping import TrafficEngineering
 from ..cdn.pop import Deployment, build_default_deployment
 from ..cdn.server import CdnServer
-from ..client.abr import make_abr
 from ..faults.injector import FaultInjector
 from ..obs import publish_last_run
 from ..obs.registry import MetricsRegistry
@@ -27,8 +26,7 @@ from ..workload.catalog import Catalog, generate_catalog
 from ..workload.clients import ClientPopulation, generate_population
 from ..workload.sessions import SessionGenerator, SessionPlan
 from .config import SimulationConfig
-from .engine import EventLoop
-from .session import SessionActor
+from .._execution import resolve_engine
 from .shard import ShardSpec
 
 if TYPE_CHECKING:  # avoid a runtime cycle: parallel.py imports this module
@@ -176,24 +174,31 @@ class Simulator:
         if config.warm_first_chunks:
             self._warm_first_chunks()
 
-    def _spill_dir(self) -> Optional[Path]:
+    def _spill_dir(self, subdir: Optional[str] = None) -> Optional[Path]:
         """This executor's spill directory (None = in-memory telemetry).
 
         Shard workers spill into a per-shard subdirectory; the parent's
         lazy merge iterates them in shard order (docs/TELEMETRY.md).
+        ``subdir`` nests one level deeper — the multi-period runner routes
+        each period to its own ``period-<name>/`` so consecutive periods
+        never collide on one sealed spill.
         """
         if self.config.spill_dir is None:
             return None
         base = Path(self.config.spill_dir)
         if self.shard is not None:
-            return base / f"shard-{self.shard.index:02d}"
+            base = base / f"shard-{self.shard.index:02d}"
+        if subdir is not None:
+            base = base / subdir
         return base
 
-    def _measured_collector(self) -> TelemetryCollector:
+    def _measured_collector(
+        self, spill_subdir: Optional[str] = None
+    ) -> TelemetryCollector:
         """The measured period's collector, honouring the memory mode."""
         return TelemetryCollector(
             record_ground_truth=self.config.record_ground_truth,
-            spill_dir=self._spill_dir(),
+            spill_dir=self._spill_dir(spill_subdir),
             spill_threshold_rows=self.config.spill_threshold_rows,
             metrics=self.metrics,
         )
@@ -223,13 +228,20 @@ class Simulator:
                         (video.video_id, 0, int(bitrate)), video.chunk_bytes(0, bitrate)
                     )
 
-    def run(self, n_sessions: Optional[int] = None, start_ms: float = 0.0) -> SimulationResult:
+    def run(
+        self,
+        n_sessions: Optional[int] = None,
+        start_ms: float = 0.0,
+        spill_subdir: Optional[str] = None,
+    ) -> SimulationResult:
         """Simulate *n_sessions* sessions; returns telemetry and world state.
 
         If the config requests warmup sessions, they run once (before the
         first measured period) with telemetry discarded, bringing caches to
         steady state.  Running :meth:`run` again continues from the same
         cache state (useful for multi-day recurrence studies).
+        ``spill_subdir`` nests this period's spill below the configured
+        directory (the multi-period runner's ``period-<name>/`` layout).
         """
         config = self.config
         n_sessions = n_sessions if n_sessions is not None else config.n_sessions
@@ -253,7 +265,7 @@ class Simulator:
         # Barrier 2: the measured period starts when the *fleet's* warmup
         # ends (the serial run's loop end), not when this shard's does.
         self._sync_clock()
-        collector = self._measured_collector()
+        collector = self._measured_collector(spill_subdir)
         with self.metrics.span("driver.period"):
             self._clock_ms = self._run_period(
                 n_sessions=n_sessions,
@@ -335,6 +347,18 @@ class Simulator:
         if self._clock_sync is not None:
             self._clock_ms = self._clock_sync(self._clock_ms)
 
+    def _session_generator(self, seed: int) -> SessionGenerator:
+        """The period's session-plan generator (shared by every engine)."""
+        config = self.config
+        return SessionGenerator(
+            catalog=self.catalog,
+            population=self.population,
+            seed=seed,
+            arrival_rate_per_s=config.arrival_rate_per_s,
+            watch_median_chunks=config.watch_median_chunks,
+            watch_sigma_chunks=config.watch_sigma_chunks,
+        )
+
     def _run_period(
         self,
         n_sessions: int,
@@ -343,63 +367,24 @@ class Simulator:
         start_ms: float,
         trace: Optional[TraceRecorder] = None,
     ) -> float:
-        """Run one collection period into *collector*; returns the end time."""
-        config = self.config
-        generator = SessionGenerator(
-            catalog=self.catalog,
-            population=self.population,
+        """Run one collection period into *collector*; returns the end time.
+
+        Dispatches through the engine registry (:mod:`repro.engine`):
+        ``config.engine`` resolves per period ("auto" picks by session
+        count) and every engine produces byte-identical telemetry, so the
+        choice is pure execution strategy.
+        """
+        from ..engine import get_engine  # local import: engine imports session
+
+        runner = get_engine(resolve_engine(self.config.engine, n_sessions))
+        return runner(
+            self,
+            n_sessions=n_sessions,
             seed=seed,
-            arrival_rate_per_s=config.arrival_rate_per_s,
-            watch_median_chunks=config.watch_median_chunks,
-            watch_sigma_chunks=config.watch_sigma_chunks,
+            collector=collector,
+            start_ms=start_ms,
+            trace=trace,
         )
-        loop = EventLoop(metrics=self.metrics)
-
-        def start_session(plan: SessionPlan):
-            def on_start(now_ms: float) -> None:
-                decision = self.mapping.assign(
-                    plan.client.prefix.geo,
-                    plan.video.video_id,
-                    plan.video.rank,
-                    plan.session_id,
-                )
-                actor = SessionActor(
-                    plan=plan,
-                    mapping=decision,
-                    server=self.servers[decision.server_id],
-                    abr=make_abr(
-                        config.abr_name,
-                        plan.video.bitrates_kbps,
-                        **(
-                            {"screen_outliers": True}
-                            if config.abr_screen_outliers and config.abr_name != "buffer"
-                            else {}
-                        ),
-                    ),
-                    collector=collector,
-                    config=config,
-                    metrics=self.metrics,
-                    faults=self.faults,
-                    trace=trace,
-                )
-                # One chunk callback per session, rescheduling itself: the
-                # previous closure-per-chunk allocated a fresh function and
-                # cell for every event on the hot path.
-                def on_chunk(now_ms: float, actor: SessionActor = actor) -> None:
-                    next_at = actor.process_chunk(now_ms)
-                    if next_at is not None:
-                        loop.schedule(next_at, on_chunk)
-
-                first_request_at = now_ms + actor.manifest_time_ms(now_ms)
-                loop.schedule(first_request_at, on_chunk)
-
-            return on_start
-
-        for plan in generator.generate(n_sessions, start_ms=start_ms):
-            if self.shard is not None and not self._owns_plan(plan):
-                continue
-            loop.schedule(plan.start_ms, start_session(plan))
-        return loop.run()
 
     def _owns_plan(self, plan: SessionPlan) -> bool:
         """Does this shard simulate *plan*?

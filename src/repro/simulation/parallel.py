@@ -130,17 +130,30 @@ class PeriodSpec:
     carry_fleet: bool = True
 
 
-def _reject_multi_period_spill(periods: Sequence[PeriodSpec]) -> None:
-    """Multi-period spill is not wired: each period finalizes its collector,
-    so a shared ``spill_dir`` would make period 2's writer refuse the
-    directory period 1 just sealed.  Checked in the parent (before any
-    worker launches) and again in :func:`execute_periods` for direct users.
+def _period_spill_subdirs(periods: Sequence[PeriodSpec]) -> List[Optional[str]]:
+    """Per-period spill subdirectory names (``period-<name>/`` layout).
+
+    Each period finalizes (seals) its own collector, so a shared
+    ``spill_dir`` must fan out one subdirectory per period or period 2's
+    writer would refuse the directory period 1 just sealed.  Single-period
+    runs keep spilling at the root — the layout every existing reader
+    knows.  Names come from the period labels (falling back to the period
+    index) and must be unique, because a duplicated name is exactly the
+    seal collision this layout exists to prevent.
     """
-    if len(periods) > 1 and any(spec.config.spill_dir is not None for spec in periods):
+    if len(periods) <= 1 or all(spec.config.spill_dir is None for spec in periods):
+        return [None] * len(periods)
+    subdirs = [
+        f"period-{spec.label}" if spec.label else f"period-{index:02d}"
+        for index, spec in enumerate(periods)
+    ]
+    duplicates = {name for name in subdirs if subdirs.count(name) > 1}
+    if duplicates:
         raise ValueError(
-            "spill_dir is not supported for multi-period runs; run each "
-            "period separately with its own spill directory"
+            "multi-period spill needs unique period labels; duplicated "
+            f"spill subdirectories: {sorted(duplicates)}"
         )
+    return subdirs
 
 
 def _resolve_mutation(ref: str):
@@ -169,7 +182,7 @@ def execute_periods(
     """
     if not periods:
         raise ValueError("periods must be non-empty")
-    _reject_multi_period_spill(periods)
+    spill_subdirs = _period_spill_subdirs(periods)
     if metrics is None:
         metrics = MetricsRegistry()
     # One trace recorder for the whole multi-period run, so config-change
@@ -181,7 +194,7 @@ def execute_periods(
     )
     simulator: Optional[Simulator] = None
     datasets: List[Dataset] = []
-    for spec in periods:
+    for spec, spill_subdir in zip(periods, spill_subdirs):
         if simulator is None:
             simulator = Simulator(
                 spec.config, shard=shard, world=world, clock_sync=clock_sync,
@@ -198,7 +211,11 @@ def execute_periods(
             simulator = successor
         if spec.mutation is not None:
             _resolve_mutation(spec.mutation)(simulator, *spec.mutation_args)
-        datasets.append(simulator.run(spec.n_sessions, start_ms=spec.start_ms).dataset)
+        datasets.append(
+            simulator.run(
+                spec.n_sessions, start_ms=spec.start_ms, spill_subdir=spill_subdir
+            ).dataset
+        )
     return datasets, simulator
 
 
@@ -403,11 +420,13 @@ class ParallelSimulator:
 
         Cache state carries across periods *within* each worker, mirroring
         the serial scenario runner.  Returns (datasets, merged fleet,
-        shard reports).
+        shard reports).  Spilled multi-period runs land each period under
+        ``<spill_dir>/shard-<k>/period-<name>/`` — validate the layout in
+        the parent so a bad spec fails before any worker launches.
         """
         if not periods:
             raise ValueError("periods must be non-empty")
-        _reject_multi_period_spill(periods)
+        _period_spill_subdirs(periods)
         world = build_world(periods[0].config)
         datasets, servers, reports, registry = self._run_sharded(tuple(periods), world)
         self.metrics = registry

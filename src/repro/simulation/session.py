@@ -129,6 +129,9 @@ class SessionActor:
         )
         self.next_chunk = 0
         self.session_had_miss = False
+        #: bitrate chosen for the most recent chunk; the fleet engine's
+        #: ABR-switch demotion trigger compares consecutive values
+        self.last_bitrate_kbps: Optional[float] = None
         self._emit_session_records()
 
     # -- session-level telemetry ------------------------------------------------
@@ -194,6 +197,7 @@ class SessionActor:
 
         buffer_level_now = self.buffer.level_at(now_ms)
         bitrate = self.abr.choose_bitrate(buffer_level_now)
+        self.last_bitrate_kbps = float(bitrate)
         duration_ms = video.chunk_duration_ms(index)
         size_bytes = video.chunk_bytes(index, bitrate)
         key = (video.video_id, index, int(bitrate))
@@ -363,13 +367,17 @@ class SessionActor:
         snap_retx = tcp.retx_total
         snap_mss = tcp.mss
         snap_rto = tcp.rto_ms
-        add_tcp_snapshot = self.collector.add_tcp_snapshot
-        for sample in transfer.samples:
-            add_tcp_snapshot(
+        # §2.1: at least one snapshot per chunk — the forced end-of-transfer
+        # sample rides at the block's tail.  The whole chunk's grid lands in
+        # one block append (the snapshots are the highest-volume kind).
+        snapshot_times = [sample.t_ms for sample in transfer.samples]
+        snapshot_times.append(transfer_start + network_dlb)
+        self.collector.add_tcp_snapshots(
+            [
                 TcpInfoRecord(
                     session_id=plan.session_id,
                     chunk_id=index,
-                    t_ms=sample.t_ms,
+                    t_ms=t_ms,
                     cwnd_segments=snap_cwnd,
                     srtt_ms=snap_srtt,
                     rttvar_ms=snap_rttvar,
@@ -377,20 +385,8 @@ class SessionActor:
                     mss=snap_mss,
                     rto_ms=snap_rto,
                 )
-            )
-        # §2.1: at least one snapshot per chunk — force one at transfer end.
-        add_tcp_snapshot(
-            TcpInfoRecord(
-                session_id=plan.session_id,
-                chunk_id=index,
-                t_ms=transfer_start + network_dlb,
-                cwnd_segments=snap_cwnd,
-                srtt_ms=snap_srtt,
-                rttvar_ms=snap_rttvar,
-                retx_total=snap_retx,
-                mss=snap_mss,
-                rto_ms=snap_rto,
-            )
+                for t_ms in snapshot_times
+            ]
         )
 
         # Ground-truth fault labels: re-query the same pure functions that

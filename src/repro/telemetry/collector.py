@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, List, Optional, Union
+from typing import Any, List, Optional, Sequence, Union
 
 from .dataset import Dataset
 from .records import (
@@ -97,6 +97,20 @@ class TelemetryCollector:
             self._writer.add("tcp_snapshots", record)
         else:
             self._tcp.append(record)
+
+    def add_tcp_snapshots(self, records: Sequence[TcpInfoRecord]) -> None:
+        """Append one chunk's snapshot block in a single call.
+
+        The 500 ms tcp_info grid makes snapshots the highest-volume kind
+        by far; the block append costs one ``extend`` (or one spill-buffer
+        extend + threshold check) instead of a Python call per record.
+        """
+        if self.discard or not records:
+            return
+        if self._writer is not None:
+            self._writer.add_many("tcp_snapshots", records)
+        else:
+            self._tcp.extend(records)
 
     def add_player_session(self, record: PlayerSessionRecord) -> None:
         if self.discard:

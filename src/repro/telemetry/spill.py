@@ -124,6 +124,16 @@ class SpillWriter:
         if len(buffer) + self._pending_rows[kind] >= self.threshold_rows:
             self._flush(kind)
 
+    def add_many(self, kind: str, records: Sequence[object]) -> None:
+        """Buffer a block of record objects in one call (one append, one
+        threshold check) — the per-chunk emission path's batch entry."""
+        if not records:
+            return
+        buffer = self._buffers[kind]
+        buffer.extend(records)
+        if len(buffer) + self._pending_rows[kind] >= self.threshold_rows:
+            self._flush(kind)
+
     def add_array(self, kind: str, array: np.ndarray) -> None:
         """Buffer an already-columnar block (must match the kind's dtype)."""
         if array.dtype != COLUMN_SCHEMAS[kind].dtype:

@@ -22,8 +22,37 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bogus"])
 
+    def test_simulate_engine_flag(self):
+        args = build_parser().parse_args(
+            ["simulate", "--out", "x", "--engine", "fleet"]
+        )
+        assert args.engine == "fleet"
+        default = build_parser().parse_args(["simulate", "--out", "x"])
+        assert default.engine == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--out", "x", "--engine", "warp"])
+
 
 class TestCommands:
+    def test_simulate_engine_recorded_in_manifest(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "ds"
+        code = main(
+            [
+                "simulate",
+                "--sessions", "70",
+                "--warmup", "0",
+                "--seed", "3",
+                "--engine", "fleet",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert "(fleet engine)" in capsys.readouterr().out
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["execution"]["engine"] == "fleet"
+
     def test_list_prints_all_experiments(self, capsys):
         assert main(["list"]) == 0
         output = capsys.readouterr().out

@@ -265,11 +265,14 @@ class TestCollectorModes:
         dataset = collector.dataset()
         assert dataset.n_sessions == 0
 
-    def test_multi_period_spill_rejected_up_front(self, tmp_path):
+    def test_multi_period_spill_routes_to_period_subdirs(self, tmp_path):
+        # Unlabeled periods fall back to positional subdir names; the full
+        # layout + identity contract lives in tests/test_parallel.py.
         config = _config(spill_dir=str(tmp_path / "s"))
         periods = [PeriodSpec(config=config), PeriodSpec(config=config)]
-        with pytest.raises(ValueError, match="multi-period"):
-            execute_periods(periods)
+        execute_periods(periods)
+        assert (tmp_path / "s" / "period-00").is_dir()
+        assert (tmp_path / "s" / "period-01").is_dir()
 
     def test_merge_all_rejects_mixed_modes(self, tmp_path):
         spilled = synthesize_spill(tmp_path / "s", 50, seed=4)

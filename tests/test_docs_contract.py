@@ -328,3 +328,44 @@ class TestMarkdownLinks:
             assert "PERFORMANCE.md" in text, (
                 f"{source} does not link docs/PERFORMANCE.md"
             )
+
+
+class TestEngineContractSync:
+    """Engine selection is user-facing API: names must stay documented."""
+
+    def test_every_engine_name_documented(self):
+        from repro.engine import ENGINE_NAMES
+
+        performance = (REPO_ROOT / "docs" / "PERFORMANCE.md").read_text(
+            encoding="utf-8"
+        )
+        for name in ENGINE_NAMES:
+            assert f'"{name}"' in performance or f"`{name}`" in performance, (
+                f"engine {name!r} not documented in docs/PERFORMANCE.md"
+            )
+
+    def test_registry_and_module_map_documented(self):
+        from repro.engine import ENGINE_NAMES, ENGINE_REGISTRY
+
+        architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8"
+        )
+        assert "`repro.engine`" in architecture, (
+            "docs/ARCHITECTURE.md module map lacks a repro.engine entry"
+        )
+        assert "ENGINE_REGISTRY" in architecture
+        # every concrete engine has a registry entry and a module mention
+        for name in set(ENGINE_NAMES) - {"auto"}:
+            assert name in ENGINE_REGISTRY
+            assert f"`{name}`" in architecture
+
+    def test_cli_engine_choices_match(self):
+        from repro.cli import build_parser
+        from repro.engine import ENGINE_NAMES
+
+        parser = build_parser()
+        args = parser.parse_args(["simulate", "--out", "x"])
+        assert args.engine == "auto"
+        for name in ENGINE_NAMES:
+            parsed = parser.parse_args(["simulate", "--out", "x", "--engine", name])
+            assert parsed.engine == name

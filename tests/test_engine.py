@@ -1,0 +1,208 @@
+"""Engine-selection API + fleet-engine determinism contract.
+
+The contract under test (docs/PERFORMANCE.md, "Fleet engine"): engine
+choice is an execution knob.  For a fixed seed, ``engine="fleet"``
+produces record- and byte-identical telemetry — datasets, metrics
+documents, traces — to ``engine="event"`` and to any ``workers=K``
+sharding of either, including under fault injection, tracing, and
+spill-to-disk.  ``"auto"`` resolves purely from the session count, so
+every shard resolves identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+import pytest
+
+from repro.api import run
+from repro.engine import (
+    AUTO_FLEET_MIN_SESSIONS,
+    ENGINE_NAMES,
+    ENGINE_REGISTRY,
+    get_engine,
+    resolve_engine,
+    run_event_period,
+    run_fleet_period,
+)
+from repro.obs.manifest import (
+    EXECUTION_FIELDS,
+    config_hash,
+    dump_json,
+    metrics_document,
+)
+from repro.obs.trace import event_json_line
+from repro.simulation.config import SimulationConfig
+from repro.simulation.execution import EXECUTION_FIELD_NAMES, ExecutionOptions
+
+FAULT_SPEC = (
+    Path(__file__).resolve().parent.parent / "examples" / "fault_cdn_degradation.json"
+)
+
+KINDS = (
+    "player_chunks",
+    "cdn_chunks",
+    "tcp_snapshots",
+    "player_sessions",
+    "cdn_sessions",
+    "ground_truth",
+)
+
+
+def _config(**overrides) -> SimulationConfig:
+    """The identity workload: faults + tracing on a warmed two-tier CDN."""
+    defaults = dict(
+        n_sessions=120,
+        warmup_sessions=40,
+        seed=11,
+        n_videos=60,
+        n_servers=12,
+        trace_sample=0.2,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def _snapshot(config: SimulationConfig, spill_dir=None):
+    """(per-kind record reprs, metrics-document bytes, trace JSONL) of a run."""
+    if spill_dir is not None:
+        config = config.with_overrides(spill_dir=str(spill_dir))
+    result = run(config, faults=FAULT_SPEC)
+    simulation = result.simulation
+    dataset = simulation.dataset.sorted()
+    kinds = {kind: [str(rec) for rec in getattr(dataset, kind)] for kind in KINDS}
+    metrics = dump_json(metrics_document(simulation))
+    trace = "\n".join(event_json_line(e) for e in simulation.trace.events())
+    return kinds, metrics, trace
+
+
+class TestEngineSelection:
+    def test_auto_resolves_by_session_count(self):
+        assert resolve_engine("auto", AUTO_FLEET_MIN_SESSIONS - 1) == "event"
+        assert resolve_engine("auto", AUTO_FLEET_MIN_SESSIONS) == "fleet"
+        assert resolve_engine("auto", 10 * AUTO_FLEET_MIN_SESSIONS) == "fleet"
+
+    def test_concrete_names_pass_through(self):
+        # explicit choices never flip on session count
+        assert resolve_engine("event", 10**6) == "event"
+        assert resolve_engine("fleet", 1) == "fleet"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("warp", 100)
+        with pytest.raises(ValueError, match="unknown engine"):
+            SimulationConfig(n_sessions=10, engine="warp")
+        with pytest.raises(ValueError, match="registered engines"):
+            get_engine("auto")  # "auto" must be resolved before dispatch
+
+    def test_registry_covers_every_concrete_engine(self):
+        assert set(ENGINE_REGISTRY) == set(ENGINE_NAMES) - {"auto"}
+        assert ENGINE_REGISTRY["event"] is run_event_period
+        assert ENGINE_REGISTRY["fleet"] is run_fleet_period
+        assert get_engine("fleet") is run_fleet_period
+
+
+class TestExecutionOptions:
+    def test_typed_view_mirrors_config(self):
+        config = SimulationConfig(
+            n_sessions=10, workers=3, engine="fleet", trace_sample=0.5
+        )
+        options = config.execution
+        assert isinstance(options, ExecutionOptions)
+        for name in EXECUTION_FIELD_NAMES:
+            assert getattr(options, name) == getattr(config, name)
+
+    def test_hash_exclusion_is_structural(self):
+        # the manifest's exclusion set IS the ExecutionOptions field list:
+        # adding an execution knob to the dataclass excludes it from the
+        # workload hash automatically
+        assert EXECUTION_FIELDS == frozenset(EXECUTION_FIELD_NAMES)
+        assert "engine" in EXECUTION_FIELDS
+        assert "spill_dir" in EXECUTION_FIELDS
+
+    def test_engine_excluded_from_config_hash(self, tmp_path):
+        base = _config()
+        reference = config_hash(base)
+        for overrides in (
+            dict(engine="event"),
+            dict(engine="fleet"),
+            dict(engine="fleet", workers=4),
+            dict(spill_dir=str(tmp_path)),
+            dict(trace_sample=0.0),
+        ):
+            assert config_hash(base.with_overrides(**overrides)) == reference
+        assert config_hash(base.with_overrides(n_sessions=121)) != reference
+
+
+class TestCrossEngineIdentity:
+    """The PR's acceptance bar: event == fleet == sharded, byte for byte."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, tmp_path_factory):
+        spill = tmp_path_factory.mktemp("spill-event")
+        return _snapshot(_config(engine="event"), spill_dir=spill)
+
+    def test_fleet_matches_event(self, reference, tmp_path):
+        kinds, metrics, trace = _snapshot(_config(engine="fleet"), spill_dir=tmp_path)
+        ref_kinds, ref_metrics, ref_trace = reference
+        for kind in KINDS:
+            assert kinds[kind] == ref_kinds[kind], kind
+        assert metrics == ref_metrics
+        assert trace == ref_trace
+
+    def test_sharded_fleet_matches_serial_event(self, reference, tmp_path):
+        kinds, metrics, trace = _snapshot(
+            _config(engine="fleet", workers=4), spill_dir=tmp_path
+        )
+        ref_kinds, ref_metrics, ref_trace = reference
+        for kind in KINDS:
+            assert kinds[kind] == ref_kinds[kind], kind
+        assert metrics == ref_metrics
+        assert trace == ref_trace
+
+    def test_reference_is_nontrivial(self, reference):
+        # guard against the identity trivially passing on an empty run
+        kinds, _, trace = reference
+        assert len(kinds["player_chunks"]) > 300
+        assert len(kinds["tcp_snapshots"]) > 1000
+        assert trace.count("\n") > 100
+
+
+def _stream_digest(config: SimulationConfig) -> str:
+    """One hash over every record of a run — the RNG-stream fingerprint."""
+    result = run(config, faults=FAULT_SPEC)
+    digest = hashlib.sha256()
+    dataset = result.simulation.dataset.sorted()
+    for kind in KINDS:
+        for record in getattr(dataset, kind):
+            digest.update(str(record).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class TestDemotePromotePins:
+    """RNG-stream-identity regression pins for the demote/promote boundary.
+
+    The fleet engine must consume exactly the draws the event loop would,
+    in the same order, at every demotion trigger.  These runs force each
+    trigger — full tracing (permanent demotion), faults (epoch demotion),
+    and a calm no-fault run (no demotion at all) — and pin that the fleet
+    stream equals the event stream on each.
+    """
+
+    CASES = {
+        "all-demoted": dict(trace_sample=1.0),
+        "fault-epochs": dict(trace_sample=0.0),
+        "calm": dict(trace_sample=0.0, n_sessions=90, seed=3),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_fleet_stream_equals_event_stream(self, name):
+        overrides = self.CASES[name]
+        event = _stream_digest(_config(engine="event", **overrides))
+        fleet = _stream_digest(_config(engine="fleet", **overrides))
+        assert event == fleet, f"{name}: fleet diverged from the event loop"
+
+    def test_fleet_is_reproducible(self):
+        config = _config(engine="fleet")
+        assert _stream_digest(config) == _stream_digest(config)

@@ -167,6 +167,57 @@ class TestMultiPeriod:
         assert set(servers) and len(reports) == 3
 
 
+class TestMultiPeriodSpill:
+    """Multi-period spill: each period seals its own period-<name>/ spill."""
+
+    @staticmethod
+    def _periods(base):
+        return [
+            PeriodSpec(config=base, label="baseline"),
+            PeriodSpec(config=base, label="surge", start_ms=500_000.0),
+        ]
+
+    def test_serial_layout_and_identity(self, tmp_path):
+        base = _config(n_sessions=60, warmup_sessions=40, seed=5)
+        memory_datasets, _ = execute_periods(self._periods(base))
+        spilled = base.with_overrides(spill_dir=str(tmp_path))
+        spill_datasets, _ = execute_periods(self._periods(spilled))
+        layout = sorted(
+            str(p.relative_to(tmp_path)) for p in tmp_path.rglob("spill.json")
+        )
+        assert layout == ["period-baseline/spill.json", "period-surge/spill.json"]
+        for memory, spill in zip(memory_datasets, spill_datasets):
+            assert list(spill.player_chunks) == memory.sorted().player_chunks
+            assert spill.n_sessions == memory.n_sessions
+
+    def test_sharded_layout_and_identity(self, tmp_path):
+        base = _config(n_sessions=60, warmup_sessions=40, seed=5)
+        serial_datasets, _ = execute_periods(self._periods(base))
+        spilled = base.with_overrides(spill_dir=str(tmp_path))
+        datasets, _, reports = ParallelSimulator(spilled, workers=2).run_periods(
+            self._periods(spilled)
+        )
+        layout = sorted(
+            str(p.relative_to(tmp_path)) for p in tmp_path.rglob("spill.json")
+        )
+        assert layout == [
+            "shard-00/period-baseline/spill.json",
+            "shard-00/period-surge/spill.json",
+            "shard-01/period-baseline/spill.json",
+            "shard-01/period-surge/spill.json",
+        ]
+        assert len(reports) == 2
+        for serial, spill in zip(serial_datasets, datasets):
+            assert list(spill.player_chunks) == serial.sorted().player_chunks
+            assert list(spill.player_sessions) == serial.sorted().player_sessions
+
+    def test_duplicate_labels_rejected(self, tmp_path):
+        base = _config(spill_dir=str(tmp_path))
+        periods = [PeriodSpec(config=base, label="p"), PeriodSpec(config=base, label="p")]
+        with pytest.raises(ValueError, match="unique period labels"):
+            execute_periods(periods)
+
+
 class TestCli:
     def test_simulate_workers_flag(self, tmp_path, capsys):
         out = tmp_path / "trace"
