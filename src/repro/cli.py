@@ -144,6 +144,11 @@ def build_parser() -> argparse.ArgumentParser:
     faultscore.add_argument(
         "dataset", help="dataset directory from 'simulate --faults ...'"
     )
+    faultscore.add_argument(
+        "--analysis", choices=["auto", "records", "columnar"], default="auto",
+        help="read path for the scoring pass (byte-identical results; see "
+             "docs/PERFORMANCE.md, 'The read path')",
+    )
 
     scenario = commands.add_parser(
         "scenario", help="run a canned multi-period incident scenario"
@@ -195,6 +200,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only the named cell(s); repeatable — a single cell "
              "reproduces its record stream exactly (determinism contract)",
     )
+    sweep_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run up to N whole cells concurrently on a process pool; "
+             "outcomes aggregate in canonical grid order, so the report "
+             "artifacts are byte-identical to a serial run "
+             "(see docs/SCENARIOS.md)",
+    )
     sweep_list = sweep_sub.add_parser(
         "list", help="print the factorial grid of a sweep spec in run order"
     )
@@ -208,6 +220,13 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = commands.add_parser("analyze", help="QoE + bottleneck localization")
     analyze.add_argument("dataset", help="dataset directory from 'simulate'")
     analyze.add_argument("--no-proxy-filter", action="store_true")
+    analyze.add_argument(
+        "--analysis", choices=["auto", "records", "columnar"], default="auto",
+        help="read path: 'records' streams per-session record objects, "
+             "'columnar' computes on whole telemetry columns, 'auto' picks "
+             "by dataset size/residence; results are byte-identical either "
+             "way (see docs/PERFORMANCE.md, 'The read path')",
+    )
 
     findings = commands.add_parser("findings", help="evaluate Table-1 findings")
     findings.add_argument("dataset", help="dataset directory from 'simulate'")
@@ -443,7 +462,7 @@ def _cmd_faultscore(args: argparse.Namespace) -> int:
     from .core.faultscore import score_fault_localization
 
     dataset = load_dataset(args.dataset)
-    report = score_fault_localization(dataset)
+    report = score_fault_localization(dataset, analysis=args.analysis)
     print(report.format_report())
     if report.n_labeled == 0:
         print(
@@ -551,6 +570,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             out_dir=args.out,
             cell_names=args.cell,
             progress=print,
+            jobs=args.jobs,
         )
     except KeyError as error:
         print(str(error), file=sys.stderr)
@@ -567,6 +587,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    from . import obs
+
     dataset = load_dataset(args.dataset)
     if not args.no_proxy_filter:
         dataset, report = filter_proxies(dataset)
@@ -574,7 +596,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             f"proxy filter kept {report.n_kept_sessions}/{report.n_input_sessions} "
             f"sessions {report.removal_reasons()}"
         )
-    summary = qoe.summarize(dataset)
+
+    # each columnar pass publishes its own registry; sum the analysis.*
+    # span totals across passes so the breakdown covers the whole command
+    # (a record-path call publishes nothing, so the same run is never
+    # collected twice)
+    analysis_spans: dict = {}
+    collected_runs: list = []
+
+    def collect_spans() -> None:
+        run = obs.last_run()
+        if run is None or any(run is seen for seen in collected_runs):
+            return
+        collected_runs.append(run)
+        for span in run.get("spans", ()):
+            if span["name"].startswith("analysis."):
+                analysis_spans[span["name"]] = (
+                    analysis_spans.get(span["name"], 0.0) + span["total_s"]
+                )
+
+    summary = qoe.summarize(dataset, analysis=args.analysis)
+    collect_spans()
     print(
         plotting.format_table(
             ["metric", "value"],
@@ -582,7 +624,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             title="\nQoE summary",
         )
     )
-    fractions = diagnose_dataset(dataset)
+    fractions = diagnose_dataset(dataset, analysis=args.analysis)
+    collect_spans()
     if fractions:
         ordered = sorted(fractions.items(), key=lambda kv: kv[1], reverse=True)
         print()
@@ -599,6 +642,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print("\nCounterfactual headroom (upper bounds on direct effects):")
         for report in headrooms.values():
             print(f"  {report}")
+    if analysis_spans:
+        print("\nRead-path span breakdown (docs/PERFORMANCE.md):")
+        for name, total_s in sorted(analysis_spans.items()):
+            print(f"  span {name}: {total_s:.3f}s")
     return 0
 
 

@@ -102,13 +102,20 @@ def startup_vs_first_chunk_srtt(
     return _first_chunk_relation(dataset, first_srtt, bin_edges)
 
 
-def summarize(dataset: Dataset) -> Dict[str, float]:
+def summarize(dataset: Dataset, analysis: str = "auto") -> Dict[str, float]:
     """Headline QoE numbers for a dataset (used by examples and reports).
 
-    Streams sessions one at a time (:class:`~repro.core.streaming.QoeAccumulator`),
-    keeping one scalar per session per metric — the spilled-dataset path
-    never materializes the fleet (docs/TELEMETRY.md).
+    *analysis* selects the read path (docs/PERFORMANCE.md "The read
+    path"): ``"columnar"`` computes on whole telemetry columns
+    (:mod:`~repro.core.columnar_analysis`), ``"records"`` streams sessions
+    one at a time (:class:`~repro.core.streaming.QoeAccumulator`), and
+    ``"auto"`` picks per dataset.  Both spellings return bit-identical
+    results under a flat memory ceiling (docs/TELEMETRY.md).
     """
+    from .columnar_analysis import analyze_dataset, resolve_analysis_mode
+
+    if resolve_analysis_mode(dataset, analysis) == "columnar":
+        return analyze_dataset(dataset, analyses=("qoe",))["qoe"]
     from .streaming import QoeAccumulator, consume
 
     return consume(dataset, QoeAccumulator())[0]

@@ -31,6 +31,14 @@ from typing import Any, Dict, List
 import numpy as np
 
 from ..telemetry.dataset import SessionView
+from .faultscore import (
+    EXPECTED_BOTTLENECK,
+    ClassScore,
+    FaultScoreReport,
+    parse_fault_labels,
+)
+from .localization import Bottleneck, diagnose_session
+from .qoe import session_qoe
 
 __all__ = [
     "QoeAccumulator",
@@ -55,8 +63,6 @@ class QoeAccumulator:
         self._chunk_counts: List[int] = []
 
     def update(self, view: SessionView) -> None:
-        from .qoe import session_qoe  # runtime import: qoe delegates to us
-
         q = session_qoe(view)
         if q.startup_ms is not None:
             self._startups.append(q.startup_ms)
@@ -99,15 +105,11 @@ class LocalizationAccumulator:
         self._total = 0
 
     def update(self, view: SessionView) -> None:
-        from .localization import diagnose_session
-
         for attribution in diagnose_session(view).attributions:
             self._counts[attribution.bottleneck] += 1
             self._total += 1
 
     def result(self) -> Dict[str, float]:
-        from .localization import Bottleneck
-
         if self._total == 0:
             return {}
         return {
@@ -124,14 +126,9 @@ class FaultScoreAccumulator:
     """
 
     def __init__(self) -> None:
-        from .faultscore import FaultScoreReport
-
         self.report = FaultScoreReport()
 
     def update(self, view: SessionView) -> None:
-        from .faultscore import EXPECTED_BOTTLENECK, ClassScore, parse_fault_labels
-        from .localization import Bottleneck, diagnose_session
-
         report = self.report
         diagnosis = diagnose_session(view)
         for chunk, attribution in zip(view.chunks, diagnosis.attributions):

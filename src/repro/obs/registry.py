@@ -270,6 +270,26 @@ METRIC_SPECS: Dict[str, MetricSpec] = _specs(
             "Bytes of columnar run files written by telemetry spill "
             "writers.", "—", scope="execution",
         ),
+        # -- columnar analysis read path (docs/PERFORMANCE.md) --------------
+        # Execution scope: block/session/chunk progress of the vectorized
+        # analysis pass depends on the read-path selection and block
+        # budget, never on the workload, so these counters live in the run
+        # manifest's execution block like the spill counters above.
+        MetricSpec(
+            "analysis.blocks_total", "counter", "blocks",
+            "Session-aligned blocks processed by the columnar analysis "
+            "pass.", "—", scope="execution",
+        ),
+        MetricSpec(
+            "analysis.sessions_total", "counter", "sessions",
+            "Joined sessions reduced by the columnar analysis pass.", "—",
+            scope="execution",
+        ),
+        MetricSpec(
+            "analysis.chunks_total", "counter", "chunks",
+            "Joined chunks attributed/aggregated by the columnar analysis "
+            "pass.", "—", scope="execution",
+        ),
     ]
 )
 

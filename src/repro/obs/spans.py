@@ -63,6 +63,16 @@ SPAN_SPECS: Dict[str, SpanSpec] = {
             "parallel.merge",
             "Parent-side deterministic merge of shard datasets and registries.",
         ),
+        SpanSpec(
+            "analysis.read",
+            "One vectorized columnar analysis pass over a dataset (planning, "
+            "all blocks, result assembly).",
+        ),
+        SpanSpec(
+            "analysis.block",
+            "One session-aligned block of the columnar analysis pass (join, "
+            "chunk math, accumulator updates).",
+        ),
     ]
 }
 

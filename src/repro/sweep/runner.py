@@ -126,15 +126,21 @@ def run_sweep(
     cell_names: Optional[Sequence[str]] = None,
     metrics: Optional[MetricsRegistry] = None,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """Run the factorial grid (or the named subset) cell by cell.
 
     Cells execute in the spec's canonical order; each one shards across
     *workers* processes internally, so the grid keeps the record-identity
     contract cell by cell instead of racing cells against each other.
-    *cell_names* restricts the run (``repro sweep run --cell``); unknown
-    names raise before anything executes.  *progress* receives one line
-    per cell as it finishes.
+    With ``jobs > 1`` whole cells additionally run concurrently on a
+    process pool (``repro sweep run --jobs``) — cells are independent
+    seeded simulations, and every outcome is gathered, counted, written,
+    and aggregated in the grid's canonical order regardless of completion
+    order, so all report artifacts stay byte-identical to a serial run
+    (docs/SCENARIOS.md).  *cell_names* restricts the run
+    (``repro sweep run --cell``); unknown names raise before anything
+    executes.  *progress* receives one line per cell as it finishes.
     """
     metrics = metrics if metrics is not None else MetricsRegistry()
     cells_total = metrics.counter("sweeps.cells_total")
@@ -155,9 +161,30 @@ def run_sweep(
     if out_path is not None:
         spec.save(out_path / "sweep.json")
 
+    if jobs > 1 and len(grid) > 1:
+        # whole-cell parallelism: run_cell is a top-level picklable
+        # function that never raises, so every future resolves to a
+        # CellResult.  Futures are submitted AND gathered in grid order —
+        # the post-processing below therefore sees exactly the serial
+        # sequence, which is what keeps the artifacts byte-identical.
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(grid))) as pool:
+            futures = [
+                pool.submit(
+                    run_cell, cell, workers=workers, shard_timeout_s=shard_timeout_s
+                )
+                for cell in grid
+            ]
+            produced = iter([future.result() for future in futures])
+    else:
+        produced = (
+            run_cell(cell, workers=workers, shard_timeout_s=shard_timeout_s)
+            for cell in grid
+        )
+
     results: List[CellResult] = []
-    for cell in grid:
-        result = run_cell(cell, workers=workers, shard_timeout_s=shard_timeout_s)
+    for result in produced:
         cells_total.inc()
         if not result.succeeded:
             cells_failed.inc()

@@ -293,6 +293,20 @@ class SpilledDataset:
 
     # -- per-kind streams (canonical order) ----------------------------------
 
+    def run_arrays(self, kind: str) -> List[np.ndarray]:
+        """The kind's sorted run arrays (memory-mapped), in run order.
+
+        Run order is the merge-tie-break order: directories in
+        construction order, runs in manifest order within each.  The
+        vectorized read path (:mod:`repro.core.columnar_analysis`) slices
+        these maps directly instead of materializing record objects.
+        """
+        return [
+            _open_run(directory, kind, run)
+            for directory, manifest in zip(self._dirs, self._manifests)
+            for run in manifest["kinds"][kind]["runs"]
+        ]
+
     def iter_kind(self, kind: str) -> Iterator[object]:
         """All records of *kind* in canonical order, lazily merged.
 
@@ -301,11 +315,7 @@ class SpilledDataset:
         peak live-object count is bounded per *kind* — independent of how
         many runs (i.e. how many total rows) the spill holds.
         """
-        arrays = [
-            _open_run(directory, kind, run)
-            for directory, manifest in zip(self._dirs, self._manifests)
-            for run in manifest["kinds"][kind]["runs"]
-        ]
+        arrays = self.run_arrays(kind)
         if not arrays:
             return iter(())
         if len(arrays) == 1:

@@ -1,0 +1,220 @@
+"""Columnar analysis read path: byte identity with the record path.
+
+The contract under test (docs/PERFORMANCE.md, "The read path"): for every
+dataset shape the pipeline produces — in-memory, single spill with many
+sorted runs per kind, sharded spill, multi-period layout (including an
+empty period), one session, no sessions at all — the vectorized
+``repro.core.columnar_analysis`` pass returns *identical* results to the
+record-object path: the same dicts in the same insertion order (asserted
+via JSON serialization), the same ``FaultScoreReport`` structure down to
+Counter key order and the formatted report text.
+
+Also pins the ``analysis`` knob itself: ``auto`` resolution thresholds,
+the ValueError on unknown names, the CLI choices, and the docs mentions
+(mirroring the engine-registry lint in ``tests/test_docs_contract.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro._execution import (
+    ANALYSIS_MODES,
+    AUTO_COLUMNAR_MIN_SESSIONS,
+    resolve_analysis,
+)
+from repro.api import run
+from repro.core import columnar_analysis as ca
+from repro.core.faultscore import score_fault_localization
+from repro.core.localization import diagnose_dataset
+from repro.core.qoe import summarize
+from repro.core.streaming import (
+    FaultScoreAccumulator,
+    LocalizationAccumulator,
+    QoeAccumulator,
+    consume,
+)
+from repro.faults import FaultEvent, FaultSpec
+from repro.obs.registry import MetricsRegistry
+from repro.simulation.config import SimulationConfig
+from repro.telemetry.spill import SpilledDataset, SpillWriter
+from repro.telemetry.synth import synthesize_sharded, synthesize_spill
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _mixed_spec() -> FaultSpec:
+    return FaultSpec(
+        name="mixed",
+        events=(
+            FaultEvent("deg", "server-degraded", 0.0, 1e12, 8.0, server_fraction=0.5),
+            FaultEvent("lat", "network-latency", 0.0, 1e12, 5.0, orgs=("Comcast",)),
+            FaultEvent("rend", "client-render", 0.0, 1e12, 0.5, platforms=("Windows",)),
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def faulted_dataset():
+    """A simulated in-memory dataset with ground-truth labels of all layers."""
+    config = SimulationConfig(n_sessions=150, warmup_sessions=50, seed=11)
+    return run(config, faults=_mixed_spec()).dataset.sorted()
+
+
+def _assert_reports_identical(columnar, records) -> None:
+    # dataclass equality covers counts, per-class tallies, confusion values
+    assert columnar == records
+    # ...but dict equality ignores insertion order, which is part of the
+    # serialization contract — pin it explicitly, Counter keys included
+    assert list(columnar.classes) == list(records.classes)
+    assert list(columnar.confusion) == list(records.confusion)
+    for category in records.confusion:
+        assert list(columnar.confusion[category]) == list(
+            records.confusion[category]
+        ), category
+    assert columnar.format_report() == records.format_report()
+
+
+def _assert_paths_identical(dataset) -> None:
+    """Record path (streaming consume) vs one columnar pass: identical."""
+    q_rec, loc_rec, fs_rec = consume(
+        dataset, QoeAccumulator(), LocalizationAccumulator(), FaultScoreAccumulator()
+    )
+    out = ca.analyze_dataset(dataset)
+    assert json.dumps(out["qoe"]) == json.dumps(q_rec)
+    assert json.dumps(out["localization"]) == json.dumps(loc_rec)
+    _assert_reports_identical(out["faultscore"], fs_rec)
+
+
+class TestByteIdentity:
+    def test_in_memory_faulted(self, faulted_dataset):
+        _assert_paths_identical(faulted_dataset)
+        # the public knob reaches the same results through each entry point
+        q_rec = summarize(faulted_dataset, analysis="records")
+        assert json.dumps(summarize(faulted_dataset, analysis="columnar")) == (
+            json.dumps(q_rec)
+        )
+        loc_rec = diagnose_dataset(faulted_dataset, analysis="records")
+        assert json.dumps(diagnose_dataset(faulted_dataset, analysis="columnar")) == (
+            json.dumps(loc_rec)
+        )
+        _assert_reports_identical(
+            score_fault_localization(faulted_dataset, analysis="columnar"),
+            score_fault_localization(faulted_dataset, analysis="records"),
+        )
+
+    def test_spilled_multi_run(self, tmp_path):
+        # >4096 sessions => several sorted runs per kind, exercising the
+        # merge-order reconstruction of the blockwise planner
+        spilled = synthesize_spill(
+            tmp_path / "s", 10_000, seed=5, threshold_rows=2048
+        )
+        assert len(spilled.run_arrays("player_chunks")) >= 3
+        _assert_paths_identical(spilled)
+
+    def test_sharded_spill(self, tmp_path):
+        spilled = synthesize_sharded(
+            tmp_path / "sh", 600, 2, seed=9, threshold_rows=256
+        )
+        assert len(spilled.directories) == 2
+        _assert_paths_identical(spilled)
+
+    def test_multi_period_with_empty_period(self, tmp_path):
+        synthesize_spill(tmp_path / "period-a", 300, seed=3, threshold_rows=256)
+        SpillWriter(tmp_path / "period-b", threshold_rows=128).finalize()
+        spilled = SpilledDataset([tmp_path / "period-a", tmp_path / "period-b"])
+        _assert_paths_identical(spilled)
+
+    def test_single_session(self, tmp_path):
+        spilled = synthesize_spill(tmp_path / "one", 1, seed=2)
+        _assert_paths_identical(spilled)
+
+    def test_empty_spill(self, tmp_path):
+        SpillWriter(tmp_path / "empty", threshold_rows=128).finalize()
+        spilled = SpilledDataset(tmp_path / "empty")
+        out = ca.analyze_dataset(spilled)
+        assert out["qoe"] == {"n_sessions": 0}
+        assert out["localization"] == {}
+        assert out["faultscore"].n_chunks == 0
+        _assert_paths_identical(spilled)
+
+    def test_forced_small_blocks(self, tmp_path, monkeypatch):
+        # shrink the block budget so the 600-session spill needs many
+        # blocks; identity must not depend on where block cuts fall
+        spilled = synthesize_spill(tmp_path / "s", 600, seed=6, threshold_rows=512)
+        monkeypatch.setattr(ca, "ITER_BLOCK_ROWS", 97)
+        registry = MetricsRegistry()
+        out = ca.analyze_dataset(spilled, metrics=registry)
+        counters = registry.execution_snapshot()["counters"]
+        assert counters["analysis.blocks_total"] > 5
+        assert counters["analysis.sessions_total"] == 600
+        q_rec, loc_rec, fs_rec = consume(
+            spilled,
+            QoeAccumulator(),
+            LocalizationAccumulator(),
+            FaultScoreAccumulator(),
+        )
+        assert json.dumps(out["qoe"]) == json.dumps(q_rec)
+        assert json.dumps(out["localization"]) == json.dumps(loc_rec)
+        _assert_reports_identical(out["faultscore"], fs_rec)
+
+
+class TestResolveAnalysis:
+    def test_auto_prefers_columnar_for_spills(self):
+        assert resolve_analysis("auto", n_sessions=1, spilled=True) == "columnar"
+
+    def test_auto_threshold_on_session_count(self):
+        at = AUTO_COLUMNAR_MIN_SESSIONS
+        assert resolve_analysis("auto", n_sessions=at) == "columnar"
+        assert resolve_analysis("auto", n_sessions=at - 1) == "records"
+
+    def test_explicit_modes_pass_through(self):
+        for mode in ("records", "columnar"):
+            assert resolve_analysis(mode, n_sessions=0) == mode
+            assert resolve_analysis(mode, n_sessions=10**6, spilled=True) == mode
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown analysis"):
+            resolve_analysis("vectorized", n_sessions=100)
+
+    def test_duck_typed_dataset_stays_on_records(self):
+        class FakeDataset:
+            n_sessions = 10**6
+
+        assert ca.resolve_analysis_mode(FakeDataset(), "auto") == "records"
+
+    def test_spilled_dataset_resolves_columnar(self, tmp_path):
+        spilled = synthesize_spill(tmp_path / "s", 10, seed=1)
+        assert ca.resolve_analysis_mode(spilled, "auto") == "columnar"
+
+    def test_unknown_analysis_kind_rejected(self, tmp_path):
+        spilled = synthesize_spill(tmp_path / "s", 10, seed=1)
+        with pytest.raises(ValueError, match="unknown analys"):
+            ca.analyze_dataset(spilled, analyses=("qoe", "bogus"))
+
+
+class TestAnalysisKnobContractSync:
+    """The analysis knob is user-facing API: names must stay documented."""
+
+    def test_every_mode_documented(self):
+        performance = (REPO_ROOT / "docs" / "PERFORMANCE.md").read_text(
+            encoding="utf-8"
+        )
+        for name in ANALYSIS_MODES:
+            assert f'"{name}"' in performance or f"`{name}`" in performance, (
+                f"analysis mode {name!r} not documented in docs/PERFORMANCE.md"
+            )
+
+    def test_cli_analysis_choices_match(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for command in (["analyze", "x"], ["faultscore", "x"]):
+            args = parser.parse_args(command)
+            assert args.analysis == "auto"
+            for name in ANALYSIS_MODES:
+                parsed = parser.parse_args(command + ["--analysis", name])
+                assert parsed.analysis == name

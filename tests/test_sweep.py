@@ -450,6 +450,29 @@ class TestSweepRunner:
                     tmp_path / "sharded" / rel
                 ).read_bytes(), str(rel)
 
+    def test_serial_vs_jobs_byte_identity(self, tmp_path):
+        # whole-cell process-pool parallelism (`repro sweep run --jobs`)
+        # must keep every artifact byte-identical to the serial run
+        spec = _grid_2x2()
+        serial = run_sweep(spec, workers=1, out_dir=tmp_path / "serial")
+        pooled = run_sweep(spec, workers=1, jobs=4, out_dir=tmp_path / "jobs")
+        assert serial.n_failed == pooled.n_failed == 0
+        for a, b in zip(serial.cells, pooled.cells):
+            assert a.name == b.name
+            assert a.metrics_json == b.metrics_json, a.name
+            assert a.document == b.document, a.name
+        assert serial.report == pooled.report
+        for rel in ["report.json", "report.txt", "sweep.json"]:
+            assert (tmp_path / "serial" / rel).read_bytes() == (
+                tmp_path / "jobs" / rel
+            ).read_bytes()
+        for cell in serial.cells:
+            for artifact in ["cell.json", "metrics.json"]:
+                rel = Path("cells") / cell.name / artifact
+                assert (tmp_path / "serial" / rel).read_bytes() == (
+                    tmp_path / "jobs" / rel
+                ).read_bytes(), str(rel)
+
     def test_single_cell_rerun_reproduces(self, tmp_path):
         spec = _grid_2x2()
         full = run_sweep(spec, workers=1)
