@@ -114,3 +114,66 @@ def test_memory_large_tier(tmp_path):
     )
     print(f"\n  memory-large: {wall_s:.1f}s wall, {peak_mb:.1f} MB peak heap")
     assert peak_mb < PEAK_HEAP_BUDGET_MB
+
+
+# ---------------------------------------------------------------------------
+# live service tier: peak heap flat in run duration
+
+
+SERVE_ROUNDS_SHORT = 4
+SERVE_ROUNDS_LONG = 12
+#: long/short peak ratio bound.  The service drops per-round telemetry
+#: after folding, bounds the sealed-window deque, and keeps O(1)
+#: accumulator state, so 3x the rounds must not grow the peak materially;
+#: 1.5x absorbs allocator noise while still tripping on O(rounds) state.
+SERVE_PEAK_RATIO_BOUND = 1.5
+
+
+def _serve_run(rounds):
+    from repro.serve import LiveService
+    from repro.simulation.config import SimulationConfig
+
+    config = SimulationConfig(n_sessions=60, warmup_sessions=200, seed=7)
+    service = LiveService(
+        config, window_ms=10_000.0, sessions_per_round=60, retain_windows=64
+    )
+    tracemalloc.start()
+    start = time.perf_counter()
+    service.run_rounds(rounds)
+    wall_s = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return service, peak, wall_s
+
+
+def test_memory_serve_peak_flat_in_run_duration():
+    # the run-forever requirement: a service stepped 3x as long must hold
+    # the same peak heap — sealed windows are deque-bounded, per-round
+    # telemetry is dropped after folding (docs/OBSERVABILITY.md,
+    # "Service mode")
+    _, peak_short, _ = _serve_run(SERVE_ROUNDS_SHORT)
+    service, peak_long, wall_s = _serve_run(SERVE_ROUNDS_LONG)
+    ratio = peak_long / peak_short
+    health = service.health_document()
+    record = write_perf_record(
+        "memory_serve",
+        wall_s,
+        n_sessions=health["sessions"],
+        n_chunks=health["chunks"],
+        extra={
+            "peak_short_mb": round(peak_short / 1e6, 1),
+            "peak_long_mb": round(peak_long / 1e6, 1),
+            "rounds": SERVE_ROUNDS_LONG,
+        },
+    )
+    print(
+        f"\n  memory-serve: {record['wall_s']}s wall, "
+        f"{peak_short / 1e6:.1f} MB @ {SERVE_ROUNDS_SHORT} rounds vs "
+        f"{peak_long / 1e6:.1f} MB @ {SERVE_ROUNDS_LONG} rounds "
+        f"(ratio {ratio:.2f})"
+    )
+    assert ratio < SERVE_PEAK_RATIO_BOUND, (
+        f"live-service peak heap grew {ratio:.2f}x when the run got "
+        f"{SERVE_ROUNDS_LONG // SERVE_ROUNDS_SHORT}x longer — service "
+        "state is scaling with run duration"
+    )

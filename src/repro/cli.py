@@ -136,6 +136,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mdiff.add_argument("doc_a", help="first metrics JSON document")
     mdiff.add_argument("doc_b", help="second metrics JSON document")
+    mdiff.add_argument(
+        "--include-execution", action="store_true",
+        help="also compare the execution block (spans, shard reports, "
+             "engine/spill/analysis counters); excluded by default because "
+             "it legitimately varies across --engine/--workers choices",
+    )
 
     faultscore = commands.add_parser(
         "faultscore",
@@ -216,6 +222,93 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-aggregate a sweep output directory into report.json/.txt",
     )
     sweep_report.add_argument("out_dir", help="directory from 'sweep run --out'")
+
+    serve = commands.add_parser(
+        "serve",
+        help="live service mode: continuous arrival rounds with rolling "
+             "windows and online localization behind an HTTP/JSONL plane "
+             "(docs/OBSERVABILITY.md, 'Service mode')",
+    )
+    serve.add_argument(
+        "--scenario", default=None, metavar="NAME|SPEC.json",
+        help="canned scenario name (flash-crowd, cache-flush, "
+             "backend-brownout) or a ScenarioSpec JSON file; the first "
+             "resolved period's config (and faults) drives the service",
+    )
+    serve.add_argument(
+        "--faults", default=None, metavar="SPEC.json",
+        help="inject a FaultSpec schedule (overrides the scenario's)",
+    )
+    serve.add_argument(
+        "--sessions", type=int, default=150,
+        help="session arrivals per round (default: 150)",
+    )
+    serve.add_argument(
+        "--warmup", type=int, default=2000,
+        help="cache-warming sessions before the first round (default: "
+             "2000 — enough that organic miss-driven server verdicts "
+             "settle below the incident threshold)",
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--window-ms", type=float, default=10_000.0, metavar="MS",
+        help="rolling-window width in simulated ms (default: 10000)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="HTTP port for the observability plane (0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--rounds", type=int, default=None, metavar="N",
+        help="exit after N rounds (default: run until interrupted)",
+    )
+    serve.add_argument(
+        "--engine", choices=["auto", "event", "fleet"], default="auto",
+        help="stepping engine per round (same registry as 'simulate')",
+    )
+    serve.add_argument(
+        "--trace-sample", type=float, default=0.05, metavar="P",
+        help="fraction of sessions feeding the /events trace ring "
+             "(default: 0.05; 0 disables)",
+    )
+    serve.add_argument(
+        "--retain-windows", type=int, default=256, metavar="N",
+        help="sealed windows kept for /windows (bounded memory; "
+             "default: 256)",
+    )
+    serve.add_argument(
+        "--threshold", type=float, default=0.6,
+        help="per-window anomalous chunk fraction opening an incident "
+             "(default: 0.6)",
+    )
+    serve.add_argument(
+        "--min-chunks", type=int, default=64,
+        help="minimum chunks before a window is scorable (default: 64)",
+    )
+    serve.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="on exit, write windows.jsonl, incidents.jsonl and "
+             "report.json under DIR",
+    )
+
+    watch = commands.add_parser(
+        "watch", help="tail a running 'repro serve' observability plane"
+    )
+    watch.add_argument(
+        "url", nargs="?", default="http://127.0.0.1:8765",
+        help="service base URL (default: http://127.0.0.1:8765)",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between polls"
+    )
+    watch.add_argument(
+        "--max-polls", type=int, default=None, metavar="N",
+        help="stop after N polls (default: poll until interrupted)",
+    )
+    watch.add_argument(
+        "--once", action="store_true", help="poll once and exit"
+    )
 
     analyze = commands.add_parser("analyze", help="QoE + bottleneck localization")
     analyze.add_argument("dataset", help="dataset directory from 'simulate'")
@@ -424,6 +517,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
     # only `metrics diff` exists today; the subparser enforces that
     documents = []
+    dropped_execution = False
     for path in (args.doc_a, args.doc_b):
         with open(path, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
@@ -433,7 +527,22 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
             except ValueError as error:
                 print(f"{path}: {error}", file=sys.stderr)
                 return 2
+        if (
+            isinstance(payload, dict)
+            and not args.include_execution
+            and payload.pop("execution", None) is not None
+        ):
+            # the execution block (spans, shard reports, engine/spill/
+            # analysis counters) legitimately varies across --engine and
+            # --workers choices; only the workload-scoped payload is under
+            # the byte-identity contract (docs/OBSERVABILITY.md)
+            dropped_execution = True
         documents.append(payload)
+    if dropped_execution:
+        print(
+            "note: execution block excluded from the comparison "
+            "(pass --include-execution to compare it)"
+        )
     sentinel = object()
     n_compared = 0
     for (key_a, value_a), (key_b, value_b) in itertools.zip_longest(
@@ -584,6 +693,131 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"wrote sweep.json, report.json, report.txt and "
               f"cells/ under {result.out_dir}")
     return 1 if result.n_failed else 0
+
+
+def _serve_config(args: argparse.Namespace) -> SimulationConfig:
+    """Resolve the service config: scenario (canned or file) + CLI knobs."""
+    from .sweep.spec import CANNED_SCENARIOS, ScenarioSpec
+
+    if args.scenario:
+        if args.scenario in CANNED_SCENARIOS:
+            spec = CANNED_SCENARIOS[args.scenario]
+        else:
+            spec = ScenarioSpec.load(args.scenario)
+        # the service is single-period by nature: round after round on one
+        # config; the first resolved period carries the scenario's base
+        # overrides and composed fault schedule
+        config = spec.resolve(seed=args.seed)[0].config
+    else:
+        config = SimulationConfig(seed=args.seed)
+    config = config.with_overrides(
+        n_sessions=args.sessions,
+        warmup_sessions=args.warmup,
+        engine=args.engine,
+        trace_sample=args.trace_sample,
+    )
+    if args.faults:
+        from .faults.spec import FaultSpec
+
+        config = config.with_overrides(faults=FaultSpec.load(args.faults))
+    return config
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import itertools
+    import json
+
+    from .obs.manifest import dump_json
+    from .serve import SERVE_ENDPOINTS, LiveService, start_plane
+    from .serve.watch import format_incident_line
+
+    config = _serve_config(args)
+    service = LiveService(
+        config,
+        window_ms=args.window_ms,
+        sessions_per_round=args.sessions,
+        retain_windows=args.retain_windows,
+        threshold=args.threshold,
+        min_chunks=args.min_chunks,
+    )
+    plane = start_plane(service, host=args.host, port=args.port)
+    fault_note = (
+        f", faults: {config.faults.name}" if config.faults is not None else ""
+    )
+    print(
+        f"serving on {plane.url} — {args.sessions} sessions/round, "
+        f"window {args.window_ms:g} ms, seed {config.seed}{fault_note}"
+    )
+    print(f"endpoints: {', '.join(sorted(SERVE_ENDPOINTS))}")
+    print("tail with: repro watch " + plane.url)
+    announced = 0
+    try:
+        for round_index in itertools.count():
+            if args.rounds is not None and round_index >= args.rounds:
+                break
+            summary = service.step()
+            print(
+                f"round {summary['round']}: {summary['sessions']} sessions, "
+                f"{summary['chunks']} chunks, "
+                f"{summary['windows_sealed']} windows sealed, "
+                f"clock {summary['clock_ms'] / 1000.0:.1f}s, "
+                f"{summary['incidents_open']} incident(s) open"
+            )
+            incidents = service.incident_documents()
+            for incident in incidents[announced:]:
+                print("  " + format_incident_line(incident))
+            announced = len(incidents)
+    except KeyboardInterrupt:
+        print("\ninterrupted — shutting down")
+    finally:
+        plane.close()
+    health = service.health_document()
+    score = health["faultscore"]
+    print(
+        f"served {health['rounds']} rounds, {health['sessions']} sessions, "
+        f"{health['windows_sealed']} windows, {health['incidents']} "
+        f"incident(s), {health['sessions_per_s']:.1f} sessions/s"
+    )
+    if score["events"]:
+        print(
+            f"live fault scoring: recall {score['recall']:.2f} over "
+            f"{score['windows_total']} fault windows, detected within one "
+            f"window: {score['detected_within_one_window']}"
+        )
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        windows_path = out / "windows.jsonl"
+        windows_path.write_text(
+            "".join(
+                json.dumps(doc, sort_keys=True) + "\n"
+                for doc in service.window_documents()
+            ),
+            encoding="utf-8",
+        )
+        incidents_path = out / "incidents.jsonl"
+        incidents_path.write_text(
+            "".join(
+                json.dumps(doc, sort_keys=True) + "\n"
+                for doc in service.incident_documents()
+            ),
+            encoding="utf-8",
+        )
+        report_path = out / "report.json"
+        report_path.write_text(dump_json(health), encoding="utf-8")
+        print(f"wrote windows.jsonl, incidents.jsonl, report.json under {out}")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from .serve.watch import watch
+
+    return watch(
+        args.url,
+        interval=args.interval,
+        max_polls=args.max_polls,
+        once=args.once,
+    )
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -739,6 +973,8 @@ _HANDLERS = {
     "faultscore": _cmd_faultscore,
     "scenario": _cmd_scenario,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
+    "watch": _cmd_watch,
     "analyze": _cmd_analyze,
     "findings": _cmd_findings,
     "experiment": _cmd_experiment,

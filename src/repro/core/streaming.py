@@ -104,8 +104,13 @@ class LocalizationAccumulator:
         self._counts: Counter = Counter()
         self._total = 0
 
-    def update(self, view: SessionView) -> None:
-        for attribution in diagnose_session(view).attributions:
+    def update(self, view: SessionView, diagnosis=None) -> None:
+        """Fold one session; *diagnosis* reuses a precomputed
+        :func:`diagnose_session` result (the live service diagnoses each
+        view once and shares it across consumers)."""
+        if diagnosis is None:
+            diagnosis = diagnose_session(view)
+        for attribution in diagnosis.attributions:
             self._counts[attribution.bottleneck] += 1
             self._total += 1
 
@@ -128,9 +133,10 @@ class FaultScoreAccumulator:
     def __init__(self) -> None:
         self.report = FaultScoreReport()
 
-    def update(self, view: SessionView) -> None:
+    def update(self, view: SessionView, diagnosis=None) -> None:
         report = self.report
-        diagnosis = diagnose_session(view)
+        if diagnosis is None:
+            diagnosis = diagnose_session(view)
         for chunk, attribution in zip(view.chunks, diagnosis.attributions):
             report.n_chunks += 1
             if chunk.truth is None:

@@ -290,6 +290,27 @@ METRIC_SPECS: Dict[str, MetricSpec] = _specs(
             "Joined chunks attributed/aggregated by the columnar analysis "
             "pass.", "—", scope="execution",
         ),
+        # -- live service mode (docs/OBSERVABILITY.md "Service mode") -------
+        # Execution scope: round/window/incident progress describes how the
+        # long-lived service chose to chop the workload into rounds, not the
+        # workload itself, so these counters stay out of the byte-stable
+        # metrics document (which must match a batch run of the same
+        # sessions).
+        MetricSpec(
+            "serve.rounds_total", "counter", "rounds",
+            "Arrival rounds completed by the live service loop.", "—",
+            scope="execution",
+        ),
+        MetricSpec(
+            "serve.windows_sealed_total", "counter", "windows",
+            "Rolling metric windows sealed and published by the live "
+            "service.", "—", scope="execution",
+        ),
+        MetricSpec(
+            "serve.incidents_total", "counter", "incidents",
+            "Incidents opened by the online localization cascade over "
+            "sealed windows.", "—", scope="execution",
+        ),
     ]
 )
 

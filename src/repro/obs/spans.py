@@ -73,6 +73,11 @@ SPAN_SPECS: Dict[str, SpanSpec] = {
             "One session-aligned block of the columnar analysis pass (join, "
             "chunk math, accumulator updates).",
         ),
+        SpanSpec(
+            "serve.round",
+            "One live-service round: simulate an arrival batch, fold "
+            "windows, run the online localizer over sealed windows.",
+        ),
     ]
 }
 

@@ -60,6 +60,7 @@ __all__ = [
     "ChunkTrace",
     "session_sampled",
     "event_json_line",
+    "trace_meta_line",
     "write_trace_jsonl",
     "chrome_trace_document",
     "write_chrome_trace",
@@ -342,13 +343,26 @@ def event_json_line(event: TraceEvent) -> str:
     )
 
 
+def trace_meta_line(n_events: int) -> str:
+    """The leading schema meta line of a JSONL export.
+
+    Mirrors the manifest's ``schema``/``schema_version`` handling
+    (docs/OBSERVABILITY.md, "Schema versioning"): readers skip it, foreign
+    schemas are rejected loudly, and pre-meta exports (no such line) still
+    load — their first line carries event keys, never ``schema``.
+    """
+    return json.dumps({"events": n_events, "schema": TRACE_SCHEMA}, sort_keys=True)
+
+
 def write_trace_jsonl(
     events: Sequence[TraceEvent], path: Union[str, Path]
 ) -> Path:
-    """One event per line, canonical order and key order — byte-stable."""
+    """Meta line, then one event per line, canonical order — byte-stable."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_meta_line(len(events)))
+        handle.write("\n")
         for event in events:
             handle.write(event_json_line(event))
             handle.write("\n")
@@ -441,8 +455,15 @@ _REQUIRED_KEYS = frozenset(
 
 
 def read_trace_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
-    """Parse a JSONL trace back into event dicts (validation separate)."""
+    """Parse a JSONL trace back into event dicts (validation separate).
+
+    A leading meta line (``{"schema": "repro.trace/1", ...}``) is
+    validated and skipped; a foreign schema raises so tooling fails
+    loudly instead of misreading another format's lines.  Exports from
+    before the meta line load unchanged.
+    """
     rows: List[Dict[str, Any]] = []
+    first_payload_line = True
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -452,6 +473,20 @@ def read_trace_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
                 row = json.loads(line)
             except json.JSONDecodeError as error:
                 raise ValueError(f"{path}:{line_number}: not JSON: {error}") from None
+            if (
+                first_payload_line
+                and isinstance(row, dict)
+                and "schema" in row
+                and "name" not in row
+            ):
+                if row["schema"] != TRACE_SCHEMA:
+                    raise ValueError(
+                        f"{path}: not a repro trace: schema {row['schema']!r} "
+                        f"(expected {TRACE_SCHEMA!r})"
+                    )
+                first_payload_line = False
+                continue  # meta line carries no event
+            first_payload_line = False
             rows.append(row)
     return rows
 

@@ -1,0 +1,351 @@
+"""Online localization over sealed windows: incidents + live fault scoring.
+
+The batch pipeline runs the §4 cascade over a finished dataset and scores
+it afterwards (:mod:`repro.core.faultscore`).  A live service cannot wait:
+this module re-expresses the cascade's *output side* as an incident
+detector over the rolling windows of :mod:`repro.serve.windows` — each
+sealed window's per-verdict chunk fractions either open/extend an
+incident or close one — and scores detections against the injected
+:class:`~repro.faults.FaultSpec` epochs *as windows seal*, not after the
+run.
+
+Everything here is pure folding over sealed window documents, so the
+incident stream is as deterministic as the windows themselves:
+byte-identical across identical runs, independent of when HTTP clients
+happen to poll.
+
+Incident documents carry :data:`INCIDENT_SCHEMA`
+(``repro.serve.incident/1``) with the field set
+:data:`INCIDENT_DOC_FIELDS` (docs/OBSERVABILITY.md "Service mode").
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any, Dict, FrozenSet, List, Optional, Set
+
+from ..core.faultscore import EXPECTED_BOTTLENECK
+from ..core.localization import Bottleneck
+from ..faults.spec import FaultSpec
+
+__all__ = [
+    "INCIDENT_SCHEMA",
+    "INCIDENT_DOC_FIELDS",
+    "VERDICT_GROUPS",
+    "expected_group",
+    "IncidentDetector",
+    "FaultScoreboard",
+    "incident_json_line",
+]
+
+INCIDENT_SCHEMA = "repro.serve.incident/1"
+
+#: Field set of one incident document — the written contract
+#: (docs/OBSERVABILITY.md "Service mode"; lint in tests/test_docs_contract.py).
+INCIDENT_DOC_FIELDS = (
+    "schema",
+    "incident_id",
+    "group",
+    "verdicts",
+    "start_ms",
+    "end_ms",
+    "open",
+    "windows",
+    "confidence",
+    "peak_fraction",
+    "blamed",
+)
+
+#: Detector groups: the cascade's verdicts pooled by blamed component
+#: layer, mirroring how EXPECTED_BOTTLENECK pools the two network
+#: verdicts (an RTT inflation also collapses throughput — Fig. 16).
+VERDICT_GROUPS: Dict[str, FrozenSet[str]] = {
+    "server": frozenset({Bottleneck.SERVER.value}),
+    "network": frozenset(
+        {Bottleneck.NETWORK_LATENCY.value, Bottleneck.NETWORK_THROUGHPUT.value}
+    ),
+    "client-download-stack": frozenset({Bottleneck.CLIENT_DOWNLOAD_STACK.value}),
+    "client-rendering": frozenset({Bottleneck.CLIENT_RENDERING.value}),
+}
+
+
+def expected_group(fault_class: str) -> Optional[str]:
+    """The detector group a fault class should surface in, or None."""
+    expected = EXPECTED_BOTTLENECK.get(fault_class)
+    if not expected:
+        return None
+    first = expected[0].value
+    for group, verdicts in VERDICT_GROUPS.items():
+        if first in verdicts:
+            return group
+    return None
+
+
+class _OpenIncident:
+    """Mutable state of one in-progress incident."""
+
+    __slots__ = (
+        "incident_id", "group", "start_ms", "windows",
+        "fraction_sum", "peak_fraction", "blame",
+    )
+
+    def __init__(self, incident_id: str, group: str, start_ms: float) -> None:
+        self.incident_id = incident_id
+        self.group = group
+        self.start_ms = start_ms
+        self.windows = 0
+        self.fraction_sum = 0.0
+        self.peak_fraction = 0.0
+        self.blame: Counter = Counter()
+
+
+class IncidentDetector:
+    """Open/extend/close incidents from sealed window documents.
+
+    A window is *scorable* when it holds at least ``min_chunks`` chunks
+    (the quiet drain tail between arrival bursts yields windows of a
+    handful of chunks whose fractions are statistically meaningless —
+    those are neutral: they neither open nor close incidents).  A
+    scorable window is *anomalous* for a verdict group when the group's
+    chunk fraction reaches ``threshold`` — the same "is a QoE-relevant
+    share of chunks suffering here?" question the batch cascade answers
+    fleet-wide (§4), asked per window.  An anomalous window opens (or
+    extends) the group's incident; the first clean *scorable* window
+    closes it.  Confidence is the mean anomalous fraction over the
+    incident's windows; the blamed component is the modal problem server
+    (server group) or modal problem ISP/org (network group) accumulated
+    across those windows.
+
+    The defaults are calibrated against the organic cascade output of a
+    warmed-up fleet (warmup ≈ 2000 sessions): healthy scorable windows
+    sit below ~0.45 server-attributed fraction, while a cache brownout
+    (every lookup a miss paying the backend fetch) pushes bursts past
+    0.8, so ``threshold=0.6`` separates them with margin on both sides.
+    """
+
+    def __init__(self, threshold: float = 0.6, min_chunks: int = 64) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.threshold = float(threshold)
+        self.min_chunks = int(min_chunks)
+        self._open: Dict[str, _OpenIncident] = {}
+        self._closed: List[Dict[str, Any]] = []
+        self._n_opened = 0
+
+    # -- folding -------------------------------------------------------------
+
+    def scorable(self, window: Dict[str, Any]) -> bool:
+        """Whether the window holds enough chunks to score at all."""
+        return window["n_chunks"] >= self.min_chunks
+
+    def _fractions(self, window: Dict[str, Any]) -> Dict[str, float]:
+        n_chunks = window["n_chunks"]
+        bottlenecks = window["bottlenecks"]
+        return {
+            group: sum(bottlenecks.get(verdict, 0) for verdict in verdicts) / n_chunks
+            for group, verdicts in VERDICT_GROUPS.items()
+        }
+
+    def _blame_counts(self, group: str, window: Dict[str, Any]) -> Counter:
+        if group == "server":
+            return Counter(
+                {
+                    f"server:{server_id}": entry["server_chunks"]
+                    for server_id, entry in window["servers"].items()
+                    if entry["server_chunks"]
+                }
+            )
+        if group == "network":
+            return Counter(
+                {
+                    f"org:{org}": entry["network_chunks"]
+                    for org, entry in window["orgs"].items()
+                    if entry["network_chunks"]
+                }
+            )
+        return Counter({"client": 1})
+
+    def observe(self, window: Dict[str, Any]) -> Set[str]:
+        """Fold one sealed window; returns the groups flagged for it.
+
+        Non-scorable windows are neutral — no groups flagged, and any
+        open incident stays open until a scorable window rules on it.
+        """
+        if not self.scorable(window):
+            return set()
+        fractions = self._fractions(window)
+        flagged: Set[str] = set()
+        for group in sorted(VERDICT_GROUPS):
+            fraction = fractions.get(group, 0.0)
+            incident = self._open.get(group)
+            if fraction >= self.threshold:
+                flagged.add(group)
+                if incident is None:
+                    self._n_opened += 1
+                    incident = _OpenIncident(
+                        incident_id=f"inc-{self._n_opened:05d}-{group}",
+                        group=group,
+                        start_ms=window["start_ms"],
+                    )
+                    self._open[group] = incident
+                incident.windows += 1
+                incident.fraction_sum += fraction
+                incident.peak_fraction = max(incident.peak_fraction, fraction)
+                incident.blame.update(self._blame_counts(group, window))
+            elif incident is not None:
+                self._closed.append(self._document(incident, end_ms=window["start_ms"]))
+                del self._open[group]
+        return flagged
+
+    # -- documents -----------------------------------------------------------
+
+    def _document(
+        self, incident: _OpenIncident, end_ms: Optional[float]
+    ) -> Dict[str, Any]:
+        if incident.blame:
+            # modal component; count desc, then name asc for a stable pick
+            blamed = min(incident.blame.items(), key=lambda kv: (-kv[1], kv[0]))[0]
+        else:
+            blamed = ""
+        return {
+            "schema": INCIDENT_SCHEMA,
+            "incident_id": incident.incident_id,
+            "group": incident.group,
+            "verdicts": sorted(VERDICT_GROUPS[incident.group]),
+            "start_ms": incident.start_ms,
+            "end_ms": end_ms,
+            "open": end_ms is None,
+            "windows": incident.windows,
+            "confidence": (
+                round(incident.fraction_sum / incident.windows, 9)
+                if incident.windows
+                else 0.0
+            ),
+            "peak_fraction": round(incident.peak_fraction, 9),
+            "blamed": blamed,
+        }
+
+    def incidents(self) -> List[Dict[str, Any]]:
+        """Closed incidents then open ones, in incident-id order."""
+        documents = list(self._closed)
+        documents.extend(
+            self._document(incident, end_ms=None)
+            for incident in self._open.values()
+        )
+        documents.sort(key=lambda doc: doc["incident_id"])
+        return documents
+
+    @property
+    def n_opened(self) -> int:
+        return self._n_opened
+
+    @property
+    def n_open(self) -> int:
+        """Incidents currently open (not yet closed by a clean window)."""
+        return len(self._open)
+
+
+class FaultScoreboard:
+    """Live recall of the incident stream against injected fault epochs.
+
+    For each :class:`~repro.faults.FaultEvent` the scoreboard counts the
+    *scorable* sealed windows (at least ``min_chunks`` chunks — the same
+    bar the detector applies) overlapping the epoch and how many of
+    those were flagged by the detector in the event's expected verdict
+    group — the window-level recall the acceptance bar reads — plus the
+    detection latency measured in scorable windows from fault onset
+    (the first scorable window overlapping the epoch is delay zero).
+    """
+
+    def __init__(
+        self,
+        faults: Optional[FaultSpec],
+        window_ms: float,
+        *,
+        min_chunks: int = 64,
+    ) -> None:
+        self.window_ms = float(window_ms)
+        self.min_chunks = int(min_chunks)
+        self._events: List[Dict[str, Any]] = []
+        if faults is not None:
+            for event in faults.events:
+                self._events.append(
+                    {
+                        "label": event.label,
+                        "fault_class": event.fault_class,
+                        "start_ms": event.start_ms,
+                        "end_ms": event.end_ms,
+                        "expected_group": expected_group(event.fault_class),
+                        "windows_total": 0,
+                        "windows_flagged": 0,
+                        "first_scorable_index": None,
+                        "first_flagged_index": None,
+                    }
+                )
+
+    def observe(self, window: Dict[str, Any], flagged: Set[str]) -> None:
+        """Score one sealed scorable window against every overlapping epoch."""
+        if window["n_chunks"] < self.min_chunks:
+            return
+        for entry in self._events:
+            if entry["expected_group"] is None:
+                continue
+            if not (
+                window["start_ms"] < entry["end_ms"]
+                and window["end_ms"] > entry["start_ms"]
+            ):
+                continue
+            entry["windows_total"] += 1
+            if entry["first_scorable_index"] is None:
+                entry["first_scorable_index"] = window["index"]
+            if entry["expected_group"] in flagged:
+                entry["windows_flagged"] += 1
+                if entry["first_flagged_index"] is None:
+                    entry["first_flagged_index"] = window["index"]
+
+    def summary(self) -> Dict[str, Any]:
+        """The live scoring document served under ``/health``."""
+        events: List[Dict[str, Any]] = []
+        total = flagged = 0
+        detected_within_one = True
+        for entry in self._events:
+            onset_index = entry["first_scorable_index"]
+            if onset_index is None:
+                onset_index = int(entry["start_ms"] // self.window_ms)
+            first = entry["first_flagged_index"]
+            delay = None if first is None else first - onset_index
+            within = delay is not None and delay <= 1
+            if entry["windows_total"]:
+                detected_within_one = detected_within_one and within
+            total += entry["windows_total"]
+            flagged += entry["windows_flagged"]
+            events.append(
+                {
+                    "label": entry["label"],
+                    "expected_group": entry["expected_group"],
+                    "start_ms": entry["start_ms"],
+                    "end_ms": entry["end_ms"],
+                    "windows_total": entry["windows_total"],
+                    "windows_flagged": entry["windows_flagged"],
+                    "recall": (
+                        round(entry["windows_flagged"] / entry["windows_total"], 9)
+                        if entry["windows_total"]
+                        else 0.0
+                    ),
+                    "detection_delay_windows": delay,
+                    "within_one_window": within,
+                }
+            )
+        return {
+            "events": events,
+            "windows_total": total,
+            "windows_flagged": flagged,
+            "recall": round(flagged / total, 9) if total else 0.0,
+            "detected_within_one_window": detected_within_one and bool(self._events),
+        }
+
+
+def incident_json_line(document: Dict[str, Any]) -> str:
+    """Canonical one-line serialization (sorted keys) of an incident doc."""
+    return json.dumps(document, sort_keys=True)

@@ -1,0 +1,134 @@
+"""The stdlib-only HTTP/JSONL observability plane of the live service.
+
+One :class:`ThreadingHTTPServer` in front of a :class:`LiveService`; every
+endpoint is a read-only snapshot taken under the service lock, so readers
+never observe a half-stepped round.  The endpoint set is the written
+contract :data:`SERVE_ENDPOINTS` — docs/OBSERVABILITY.md's "Service mode"
+table must list exactly these paths (tests/test_docs_contract.py checks
+both directions).
+
+JSON endpoints (``/health``, ``/metrics``) serialize with the canonical
+:func:`~repro.obs.manifest.dump_json` (sorted keys, fixed indent);
+JSONL endpoints (``/windows``, ``/incidents``, ``/events``) emit one
+sorted-key document per line — ``/events`` leads with the same
+``{"schema": "repro.trace/1", ...}`` meta line a trace export carries.
+Everything except ``/health`` (which reports wall-clock uptime) is
+byte-identical across two same-seed runs stepped the same number of
+rounds.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Tuple
+
+from ..obs.manifest import dump_json
+from .online import incident_json_line
+from .service import LiveService
+from .windows import window_json_line
+
+__all__ = ["SERVE_ENDPOINTS", "ObservabilityPlane", "start_plane"]
+
+#: The endpoint contract: path → one-line description.  Adding an endpoint
+#: here REQUIRES a row in docs/OBSERVABILITY.md ("Service mode"); the
+#: docs-sync lint enforces both directions.
+SERVE_ENDPOINTS: Dict[str, str] = {
+    "/health": (
+        "liveness, progress counters, live fault scoring, sessions/s "
+        "(the only endpoint with wall-clock fields)"
+    ),
+    "/metrics": (
+        "the deterministic observability document: run identity plus the "
+        "workload-scoped metrics registry snapshot (JSON)"
+    ),
+    "/windows": (
+        "retained sealed rolling-window documents, oldest first "
+        "(JSONL, schema repro.serve.window/1)"
+    ),
+    "/incidents": (
+        "online-localization incident documents, closed then open "
+        "(JSONL, schema repro.serve.incident/1)"
+    ),
+    "/events": (
+        "trace-sampled chunk events from the bounded ring, meta line "
+        "first (NDJSON, schema repro.trace/1)"
+    ),
+}
+
+
+class _PlaneHandler(BaseHTTPRequestHandler):
+    """Routes GETs to service snapshots; everything else is a 404/405."""
+
+    server_version = "repro-serve"
+    protocol_version = "HTTP/1.1"
+
+    def _respond(self, body: bytes, content_type: str, status: int = 200) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service: LiveService = self.server.service  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        if path == "/health":
+            body = dump_json(service.health_document()).encode("utf-8")
+            self._respond(body, "application/json")
+        elif path == "/metrics":
+            body = dump_json(service.metrics_document()).encode("utf-8")
+            self._respond(body, "application/json")
+        elif path == "/windows":
+            lines = [window_json_line(doc) for doc in service.window_documents()]
+            body = ("\n".join(lines) + "\n" if lines else "").encode("utf-8")
+            self._respond(body, "application/x-ndjson")
+        elif path == "/incidents":
+            lines = [incident_json_line(doc) for doc in service.incident_documents()]
+            body = ("\n".join(lines) + "\n" if lines else "").encode("utf-8")
+            self._respond(body, "application/x-ndjson")
+        elif path == "/events":
+            body = ("\n".join(service.trace_events()) + "\n").encode("utf-8")
+            self._respond(body, "application/x-ndjson")
+        else:
+            known = ", ".join(sorted(SERVE_ENDPOINTS))
+            body = f"unknown path {path!r}; endpoints: {known}\n".encode("utf-8")
+            self._respond(body, "text/plain", status=404)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr logging (the CLI owns the console)."""
+
+
+class ObservabilityPlane:
+    """A running HTTP plane: the server plus its daemon thread."""
+
+    def __init__(self, service: LiveService, host: str, port: int) -> None:
+        self.server = ThreadingHTTPServer((host, port), _PlaneHandler)
+        self.server.service = service  # type: ignore[attr-defined]
+        self.server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, name="repro-serve-plane", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port 0 resolves to the kernel's pick."""
+        return self.server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+def start_plane(
+    service: LiveService, host: str = "127.0.0.1", port: int = 0
+) -> ObservabilityPlane:
+    """Bind and start the observability plane (daemon thread)."""
+    return ObservabilityPlane(service, host, port)

@@ -1,0 +1,103 @@
+"""``repro watch``: tail a running service's observability plane.
+
+A stdlib-only (urllib) client of :mod:`repro.serve.plane`: polls
+``/health`` on an interval, prints one status line per poll, and surfaces
+every incident the online localizer has emitted since the previous poll
+(tracked by incident id against ``/incidents``).  This is the operator
+loop the paper's motivation describes — watch the service, see the
+problem localized as it develops — pointed at the reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Dict, Optional, Set
+
+__all__ = ["watch", "format_health_line", "format_incident_line"]
+
+
+def _fetch(url: str, timeout: float) -> bytes:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read()
+
+
+def format_health_line(health: Dict) -> str:
+    """One status line from a ``/health`` document."""
+    fs = health.get("faultscore", {})
+    recall = fs.get("recall", 0.0)
+    scored = fs.get("windows_total", 0)
+    score = f" recall={recall:.2f}/{scored}w" if scored else ""
+    return (
+        f"round={health['rounds']} sessions={health['sessions']} "
+        f"chunks={health['chunks']} clock={health['clock_ms'] / 1000.0:.1f}s "
+        f"windows={health['windows_sealed']} incidents={health['incidents']} "
+        f"{health['sessions_per_s']:.1f} sessions/s{score}"
+    )
+
+
+def format_incident_line(incident: Dict) -> str:
+    """One line per incident document."""
+    state = "OPEN" if incident["open"] else "closed"
+    end = incident["end_ms"]
+    span = (
+        f"{incident['start_ms'] / 1000.0:.1f}s–"
+        f"{'…' if end is None else f'{end / 1000.0:.1f}s'}"
+    )
+    return (
+        f"incident {incident['incident_id']} [{state}] group={incident['group']} "
+        f"{span} windows={incident['windows']} "
+        f"confidence={incident['confidence']:.2f} blamed={incident['blamed'] or '—'}"
+    )
+
+
+def watch(
+    url: str,
+    *,
+    interval: float = 2.0,
+    max_polls: Optional[int] = None,
+    once: bool = False,
+    out: Callable[[str], None] = print,
+) -> int:
+    """Poll *url* until interrupted (or *max_polls*); returns an exit code.
+
+    Prints a ``/health`` status line per poll and any incidents not yet
+    seen.  ``once`` is a single poll (the smoke-test spelling of
+    ``max_polls=1``).  Unreachable service → exit code 1.
+    """
+    base = url.rstrip("/")
+    seen: Set[str] = set()
+    polls = 0
+    limit = 1 if once else max_polls
+    try:
+        while True:
+            try:
+                health = json.loads(_fetch(f"{base}/health", timeout=10.0))
+            except (urllib.error.URLError, OSError) as error:
+                out(f"watch: {base} unreachable: {error}")
+                return 1
+            out(format_health_line(health))
+            try:
+                body = _fetch(f"{base}/incidents", timeout=10.0)
+            except (urllib.error.URLError, OSError):
+                body = b""
+            for line in body.decode("utf-8").splitlines():
+                if not line.strip():
+                    continue
+                incident = json.loads(line)
+                key = incident["incident_id"]
+                # re-announce an incident when it transitions to closed
+                if incident["open"]:
+                    key += "/open"
+                if key in seen:
+                    continue
+                seen.add(key)
+                out("  " + format_incident_line(incident))
+            polls += 1
+            if limit is not None and polls >= limit:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

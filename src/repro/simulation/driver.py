@@ -287,6 +287,70 @@ class Simulator:
         publish_last_run(self.metrics)
         return result
 
+    def run_round(
+        self,
+        round_index: int,
+        n_sessions: Optional[int] = None,
+        spill_subdir: Optional[str] = None,
+    ) -> SimulationResult:
+        """One incremental arrival round on the checkpointed clock.
+
+        The service mode (:mod:`repro.serve`) feeds sessions continuously:
+        each round simulates *n_sessions* fresh arrivals starting exactly
+        where the previous round's event loop drained, on the same cache
+        state, through the same engine registry as a batch run.  Round *k*
+        uses seed ``config.seed + k`` (the :meth:`run_days` convention), so
+        session-id streams are disjoint across rounds and round 0
+        reproduces :meth:`run`'s measured period exactly.  Warmup runs once
+        before the first round, telemetry discarded as usual.
+
+        Returns only this round's telemetry; the metrics registry and the
+        trace recorder keep accumulating across rounds.
+        """
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        config = self.config
+        n_sessions = n_sessions if n_sessions is not None else config.n_sessions
+        self._sync_clock()
+        if config.warmup_sessions > 0 and not self._warmed:
+            discard = TelemetryCollector(record_ground_truth=False, discard=True)
+            with self.metrics.span("driver.warmup"):
+                self._clock_ms = self._run_period(
+                    n_sessions=config.warmup_sessions,
+                    seed=config.seed + 99_991,
+                    collector=discard,
+                    start_ms=self._clock_ms,
+                    trace=None,  # warmup is never traced
+                )
+            self._warmed = True
+        self._sync_clock()
+        collector = self._measured_collector(spill_subdir)
+        with self.metrics.span("driver.period"):
+            self._clock_ms = self._run_period(
+                n_sessions=n_sessions,
+                seed=config.seed + round_index,
+                collector=collector,
+                start_ms=self._clock_ms,
+                trace=self.trace,
+            )
+        result = SimulationResult(
+            dataset=collector.dataset(),
+            catalog=self.catalog,
+            population=self.population,
+            deployment=self.deployment,
+            servers=self.servers,
+            config=config,
+            metrics=self.metrics,
+            trace=self.trace,
+        )
+        publish_last_run(self.metrics)
+        return result
+
+    @property
+    def clock_ms(self) -> float:
+        """The checkpointed simulation clock (end of the last period)."""
+        return self._clock_ms
+
     def run_days(
         self,
         n_days: int,

@@ -369,3 +369,98 @@ class TestEngineContractSync:
         for name in ENGINE_NAMES:
             parsed = parser.parse_args(["simulate", "--out", "x", "--engine", name])
             assert parsed.engine == name
+
+
+# the "Service mode" section tables: endpoint rows have a `/path` first
+# cell; window/incident field rows use JSON-key style (`"field"`) first
+# cells — deliberately distinct from the backticked metric names that
+# _CONTRACT_ROW lints, so the two contracts cannot collide
+_ENDPOINT_ROW = re.compile(r"^\|\s*`(/[a-z]+)`\s*\|")
+_JSON_FIELD = re.compile(r'`"([a-z_]+)"`')
+
+
+def _serve_subsection(title: str) -> List[str]:
+    """Lines of one `###` subsection inside the Service mode section."""
+    lines: List[str] = []
+    in_service = False
+    in_subsection = False
+    for line in OBSERVABILITY_MD.read_text(encoding="utf-8").splitlines():
+        if line.startswith("## "):
+            in_service = line.strip() == "## Service mode"
+            in_subsection = False
+            continue
+        if in_service and line.startswith("### "):
+            in_subsection = line.strip() == f"### {title}"
+            continue
+        if in_service and in_subsection:
+            lines.append(line)
+    return lines
+
+
+class TestServeContractSync:
+    """The live-service HTTP/JSONL plane is user-facing API: the endpoint
+    table and the window/incident schema tables in OBSERVABILITY.md must
+    mirror repro.serve, both directions."""
+
+    def _documented_endpoints(self) -> Set[str]:
+        paths: Set[str] = set()
+        for line in _serve_subsection("Endpoints"):
+            match = _ENDPOINT_ROW.match(line)
+            if match:
+                paths.add(match.group(1))
+        return paths
+
+    def _documented_fields(self, subsection: str) -> Set[str]:
+        fields: Set[str] = set()
+        for line in _serve_subsection(subsection):
+            if line.startswith("|"):
+                first_cell = line.split("|")[1]
+                fields.update(_JSON_FIELD.findall(first_cell))
+        return fields
+
+    def test_every_endpoint_is_documented(self):
+        from repro.serve import SERVE_ENDPOINTS
+
+        missing = sorted(set(SERVE_ENDPOINTS) - self._documented_endpoints())
+        assert not missing, (
+            f"endpoints served by repro.serve.plane but undocumented in "
+            f"docs/OBSERVABILITY.md 'Service mode': {missing}"
+        )
+
+    def test_every_documented_endpoint_is_served(self):
+        from repro.serve import SERVE_ENDPOINTS
+
+        stale = sorted(self._documented_endpoints() - set(SERVE_ENDPOINTS))
+        assert not stale, (
+            f"endpoints documented in docs/OBSERVABILITY.md but absent "
+            f"from repro.serve.plane.SERVE_ENDPOINTS: {stale}"
+        )
+
+    def test_window_fields_documented_both_directions(self):
+        from repro.serve import WINDOW_DOC_FIELDS
+
+        documented = self._documented_fields("Window schema")
+        assert documented == set(WINDOW_DOC_FIELDS), (
+            "window document fields drifted between repro.serve.windows "
+            f"and docs/OBSERVABILITY.md: doc has {sorted(documented)}, "
+            f"code has {sorted(WINDOW_DOC_FIELDS)}"
+        )
+
+    def test_incident_fields_documented_both_directions(self):
+        from repro.serve import INCIDENT_DOC_FIELDS
+
+        documented = self._documented_fields("Incident schema")
+        assert documented == set(INCIDENT_DOC_FIELDS), (
+            "incident document fields drifted between repro.serve.online "
+            f"and docs/OBSERVABILITY.md: doc has {sorted(documented)}, "
+            f"code has {sorted(INCIDENT_DOC_FIELDS)}"
+        )
+
+    def test_serve_module_in_architecture_map(self):
+        architecture = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text(
+            encoding="utf-8"
+        )
+        assert "`repro.serve`" in architecture, (
+            "docs/ARCHITECTURE.md module map lacks a repro.serve row"
+        )
+        assert "repro watch" in architecture or "`watch`" in architecture

@@ -39,6 +39,7 @@ from repro.obs.trace import (
     session_sampled,
     slowest_chunk,
     stage_durations,
+    trace_meta_line,
     validate_trace,
     write_trace,
 )
@@ -419,3 +420,88 @@ class TestCli:
         capsys.readouterr()
         argv = ["metrics", "diff", str(tmp_path / "m2.json"), str(tmp_path / "m1.json")]
         assert cli_main(argv) == 2
+
+    def test_metrics_diff_excludes_execution_block_by_default(
+        self, tmp_path, capsys
+    ):
+        # the execution block (spans, shard reports, execution-scoped
+        # counters) legitimately varies across --engine/--workers choices;
+        # only the workload payload is under the byte-identity contract
+        doc_a = tmp_path / "a.json"
+        doc_b = tmp_path / "b.json"
+        doc_a.write_text(json.dumps({"a": 1, "execution": {"wall_s": 1.0}}))
+        doc_b.write_text(json.dumps({"a": 1, "execution": {"wall_s": 9.0}}))
+        assert cli_main(["metrics", "diff", str(doc_a), str(doc_b)]) == 0
+        out = capsys.readouterr().out
+        assert "execution block excluded" in out
+        assert "documents identical" in out
+
+    def test_metrics_diff_include_execution_flag(self, tmp_path, capsys):
+        doc_a = tmp_path / "a.json"
+        doc_b = tmp_path / "b.json"
+        doc_a.write_text(json.dumps({"a": 1, "execution": {"wall_s": 1.0}}))
+        doc_b.write_text(json.dumps({"a": 1, "execution": {"wall_s": 9.0}}))
+        argv = [
+            "metrics", "diff", "--include-execution", str(doc_a), str(doc_b)
+        ]
+        assert cli_main(argv) == 1
+        out = capsys.readouterr().out
+        assert "execution block excluded" not in out
+        assert "first divergent key: execution.wall_s" in out
+
+
+# ---------------------------------------------------------------------------
+# trace JSONL meta line (schema versioning for the third artifact class)
+
+
+class TestTraceMetaLine:
+    def test_meta_line_shape(self):
+        line = trace_meta_line(3)
+        assert line == '{"events": 3, "schema": "repro.trace/1"}'
+
+    def test_export_leads_with_the_meta_line(self, brownout_serial, tmp_path):
+        path = brownout_serial.write_trace(tmp_path / "trace.jsonl")[0]
+        first = path.read_text(encoding="utf-8").splitlines()[0]
+        meta = json.loads(first)
+        assert meta["schema"] == "repro.trace/1"
+        assert meta["events"] == brownout_serial.trace.n_events
+        assert "name" not in meta
+
+    def test_reader_skips_the_meta_line(self, brownout_serial, tmp_path):
+        path = brownout_serial.write_trace(tmp_path / "trace.jsonl")[0]
+        rows = read_trace_jsonl(path)
+        assert len(rows) == brownout_serial.trace.n_events
+        assert all("name" in row for row in rows)
+
+    def test_foreign_schema_rejected(self, tmp_path):
+        path = tmp_path / "foreign.jsonl"
+        path.write_text('{"schema": "someone.else/9", "events": 0}\n')
+        with pytest.raises(ValueError, match="someone.else/9"):
+            read_trace_jsonl(path)
+
+    def test_premeta_export_still_loads(self, brownout_serial, tmp_path):
+        # files written before the meta line existed: first line carries
+        # event keys, never "schema"
+        with_meta = brownout_serial.write_trace(tmp_path / "trace.jsonl")[0]
+        lines = with_meta.read_text(encoding="utf-8").splitlines()
+        legacy = tmp_path / "legacy.jsonl"
+        legacy.write_text("\n".join(lines[1:]) + "\n")
+        assert read_trace_jsonl(legacy) == read_trace_jsonl(with_meta)
+
+    def test_cli_trace_validates_through_the_meta_line(self, tmp_path, capsys):
+        self._simulate_with_trace(tmp_path)
+        assert cli_main(["trace", str(tmp_path / "trace.jsonl"), "--validate"]) == 0
+        assert "trace OK" in capsys.readouterr().out
+
+    @staticmethod
+    def _simulate_with_trace(tmp_path):
+        argv = [
+            "simulate",
+            "--sessions", "40",
+            "--warmup", "20",
+            "--seed", "11",
+            "--videos", "15",
+            "--out", str(tmp_path / "run"),
+            "--trace-out", str(tmp_path / "trace.jsonl"),
+        ]
+        assert cli_main(argv) == 0
